@@ -1,0 +1,393 @@
+// Benchmarks regenerating the paper's tables and figures (see the
+// experiment index in DESIGN.md), plus ablations of the design choices
+// called out there. Benchmarks use laptop-scale parameters; the
+// cmd/gmark-bench tool runs the full paper-scale sweeps.
+package gmark_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gmark/internal/engines"
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/querygen"
+	"gmark/internal/regpath"
+	"gmark/internal/selectivity"
+	"gmark/internal/translate"
+	"gmark/internal/usecases"
+)
+
+// newBenchRand returns a deterministic RNG for sampling benchmarks.
+func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func mustGraph(b *testing.B, usecase string, n int) *graph.Graph {
+	b.Helper()
+	cfg, err := usecases.ByName(usecase, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func mustGenerator(b *testing.B, usecase string, n int, kind string) *querygen.Generator {
+	b.Helper()
+	cfg, err := usecases.ByName(usecase, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg, err := usecases.Workload(kind, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := querygen.New(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen
+}
+
+// BenchmarkTable3GraphGeneration regenerates Table 3: graph generation
+// time per use case and size (the full 100K-100M sweep runs via
+// cmd/gmark-bench -exp table3).
+func BenchmarkTable3GraphGeneration(b *testing.B) {
+	for _, usecase := range []string{"bib", "lsn", "wd", "sp"} {
+		for _, n := range []int{10_000, 100_000} {
+			if usecase == "wd" && n > 10_000 {
+				continue // WD is ~40x denser; keep the bench suite fast
+			}
+			b.Run(fmt.Sprintf("%s/%d", usecase, n), func(b *testing.B) {
+				cfg, err := usecases.ByName(usecase, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				var edges int
+				for i := 0; i < b.N; i++ {
+					g, err := graphgen.Generate(cfg, graphgen.Options{Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges = g.NumEdges()
+				}
+				b.ReportMetric(float64(edges), "edges")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2SelectivityAccuracy regenerates one Table 2 cell per
+// class: workload generation plus evaluation of a class-constrained
+// query on a Bib instance.
+func BenchmarkTable2SelectivityAccuracy(b *testing.B) {
+	g := mustGraph(b, "bib", 2000)
+	gen := mustGenerator(b, "bib", 2000, "con")
+	for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+		b.Run(class.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := gen.GenerateWithClass(class)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eval.Count(g, q, eval.Budget{MaxPairs: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11EstimatedSelectivities regenerates a Fig. 11 point:
+// counting |Q(G)| for one query per class across two Bib sizes.
+func BenchmarkFig11EstimatedSelectivities(b *testing.B) {
+	graphs := []*graph.Graph{mustGraph(b, "bib", 1000), mustGraph(b, "bib", 2000)}
+	gen := mustGenerator(b, "bib", 1000, "len")
+	queries := make([]*query.Query, 0, 3)
+	for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+		q, err := gen.GenerateWithClass(class)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			for _, q := range queries {
+				if _, err := eval.Count(g, q, eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig10SP2BenchComparison regenerates Fig. 10's series: the
+// fixed SP2Bench-style queries vs gMark-generated queries of the same
+// class on an SP instance.
+func BenchmarkFig10SP2BenchComparison(b *testing.B) {
+	g := mustGraph(b, "sp", 2000)
+	gen := mustGenerator(b, "sp", 2000, "con")
+	org := map[query.SelectivityClass]*query.Query{}
+	for class, q := range sp2benchQueries() {
+		org[class] = q
+	}
+	for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+		gq, err := gen.GenerateWithClass(class)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("org/"+class.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Count(g, org[class], eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("gmark/"+class.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Count(g, gq, eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// sp2benchQueries mirrors experiments.SP2BenchQueries without
+// importing the experiments package into the bench namespace.
+func sp2benchQueries() map[query.SelectivityClass]*query.Query {
+	mk := func(expr string, class query.SelectivityClass) *query.Query {
+		return &query.Query{
+			HasClass: true, Class: class,
+			Rules: []query.Rule{{
+				Head: []query.Var{0, 1},
+				Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse(expr)}},
+			}},
+		}
+	}
+	return map[query.SelectivityClass]*query.Query{
+		query.Constant:  mk("publishedIn-.cites.publishedIn", query.Constant),
+		query.Linear:    mk("partOf.editorOf-", query.Linear),
+		query.Quadratic: mk("cites-.cites", query.Quadratic),
+	}
+}
+
+// BenchmarkFig12EngineComparison regenerates Fig. 12 bars: each engine
+// evaluating the same non-recursive workload queries on Bib.
+func BenchmarkFig12EngineComparison(b *testing.B) {
+	g := mustGraph(b, "bib", 2000)
+	gen := mustGenerator(b, "bib", 2000, "con")
+	queries := map[query.SelectivityClass]*query.Query{}
+	for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+		q, err := gen.GenerateWithClass(class)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[class] = q
+	}
+	budget := eval.Budget{MaxPairs: 50_000_000, Timeout: 30 * time.Second}
+	for _, eng := range engines.All() {
+		for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+			b.Run(eng.Name()+"/"+class.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Evaluate(g, queries[class], budget); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4RecursiveQueries regenerates Table 4: the two fixed
+// recursive queries per engine on a small Bib instance (P and S
+// exhibit their recursion cliff at larger sizes; D completes).
+func BenchmarkTable4RecursiveQueries(b *testing.B) {
+	g := mustGraph(b, "bib", 1000)
+	q1 := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("(heldIn-.heldIn)*")}},
+	}}}
+	q2 := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("(authors-.authors)*")}},
+	}}}
+	budget := eval.Budget{MaxPairs: 50_000_000, Timeout: 60 * time.Second}
+	for qi, q := range []*query.Query{q1, q2} {
+		for _, eng := range engines.All() {
+			b.Run(fmt.Sprintf("q%d/%s", qi+1, eng.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Evaluate(g, q, budget); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueryGenerationScalability regenerates the Section 6.2
+// workload-generation numbers: queries generated per second per use
+// case.
+func BenchmarkQueryGenerationScalability(b *testing.B) {
+	for _, usecase := range []string{"bib", "lsn", "sp", "wd"} {
+		b.Run(usecase, func(b *testing.B) {
+			gen := mustGenerator(b, usecase, 100_000, "con")
+			classes := []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.GenerateWithClass(classes[i%3]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTranslationScalability regenerates the Section 6.2
+// translation numbers: one query into all four syntaxes per iteration.
+func BenchmarkTranslationScalability(b *testing.B) {
+	gen := mustGenerator(b, "bib", 10_000, "con")
+	q, err := gen.GenerateWithClass(query.Linear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range translate.Syntaxes {
+			if _, err := translate.To(s, q, translate.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md section 4) ---
+
+// BenchmarkAblationGaussianFastPath compares the optimized
+// partial-shuffle pairing against the Fig. 5-literal full shuffle.
+func BenchmarkAblationGaussianFastPath(b *testing.B) {
+	cfg, err := usecases.ByName("bib", 50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"optimized", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graphgen.Generate(cfg, graphgen.Options{Seed: int64(i), NaiveShuffle: mode.naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSemiNaive compares D's semi-naive closure against
+// S's naive rematerializing closure on the same recursive query.
+func BenchmarkAblationSemiNaive(b *testing.B) {
+	g := mustGraph(b, "bib", 1000)
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("(authors-.authors)*")}},
+	}}}
+	budget := eval.Budget{MaxPairs: 100_000_000, Timeout: 120 * time.Second}
+	b.Run("semi-naive", func(b *testing.B) {
+		eng := engines.NewDatalog()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate(g, q, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		eng := engines.NewTripleStore()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate(g, q, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDistanceMatrix compares selectivity-walk path
+// sampling with and without the distance-matrix pruning of
+// Section 5.2.3(b) on requests that are mostly unsatisfiable.
+func BenchmarkAblationDistanceMatrix(b *testing.B) {
+	cfg, err := usecases.ByName("lsn", 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := selectivity.NewEstimator(&cfg.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg := selectivity.NewSchemaGraph(est)
+	rng := newBenchRand()
+	numNodes := len(sg.Nodes)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			from, to := i%numNodes, (i*7)%numNodes
+			sg.SamplePathBetween(rng, from, to, 1, 3)
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			from, to := i%numNodes, (i*7)%numNodes
+			sg.SamplePathBetweenSets(rng, from, func(v int) bool { return v == to }, 1, 3)
+		}
+	})
+}
+
+// BenchmarkAblationRelaxation compares class-constrained generation
+// with a comfortable path-length window against a window so tight the
+// generator must climb its relaxation ladder.
+func BenchmarkAblationRelaxation(b *testing.B) {
+	base, err := usecases.ByName("bib", 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(lmin, lmax int) *querygen.Generator {
+		wcfg, err := usecases.Workload("con", base, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcfg.Size.Length = query.Interval{Min: lmin, Max: lmax}
+		gen, err := querygen.New(wcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return gen
+	}
+	b.Run("loose-window", func(b *testing.B) {
+		gen := mk(1, 4)
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.GenerateWithClass(query.Quadratic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tight-window", func(b *testing.B) {
+		gen := mk(1, 1) // quadratic needs 2 symbols on Bib: forces relaxation
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.GenerateWithClass(query.Quadratic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

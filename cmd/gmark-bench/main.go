@@ -1,0 +1,138 @@
+// Command gmark-bench regenerates the paper's tables and figures
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	gmark-bench -exp table2            # one experiment
+//	gmark-bench -exp all -full         # everything at paper scale
+//
+// Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
+// qgen-scal, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gmark-bench: ")
+
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, all)")
+		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
+		perClass = flag.Int("queries-per-class", 0, "queries per selectivity class (0 = default)")
+		budget   = flag.Duration("timeout", 60*time.Second, "per-query evaluation timeout")
+		maxPairs = flag.Int64("max-pairs", 50_000_000, "per-query materialization budget")
+		runs     = flag.Int("runs", 1, "engine runs per measurement; >= 3 enables the paper's cold+warm protocol (Section 7.1)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:            *seed,
+		Full:            *full,
+		QueriesPerClass: *perClass,
+		Budget:          eval.Budget{MaxPairs: *maxPairs, Timeout: *budget},
+		Runs:            *runs,
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad size %q", s)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "coverage"}
+	}
+	for _, id := range ids {
+		fmt.Printf("\n================ %s ================\n", id)
+		start := time.Now()
+		if err := run(id, opt); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(id string, opt experiments.Options) error {
+	switch id {
+	case "table1":
+		rows, err := experiments.Table1(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(os.Stdout, rows)
+	case "table2":
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(os.Stdout, rows)
+	case "table3":
+		rows, err := experiments.Table3(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable3(os.Stdout, rows)
+	case "table4":
+		rows, err := experiments.Table4(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable4(os.Stdout, rows)
+	case "fig10":
+		series, err := experiments.Fig10(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig10(os.Stdout, series)
+	case "fig11":
+		series, err := experiments.Fig11(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig11(os.Stdout, series)
+	case "fig12":
+		results, err := experiments.Fig12(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig12(os.Stdout, results)
+	case "qgen-scal":
+		rows, err := experiments.QGenScalability(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderScalability(os.Stdout, rows)
+	case "coverage":
+		rows, err := experiments.Coverage(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderCoverage(os.Stdout, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Command gmark is the generator CLI: it reads a gMark XML
+// configuration (or a built-in use case), generates a graph instance
+// and a coupled query workload, and writes the graph (edge list and/or
+// N-Triples), the workload (UCRPQs as XML), and the queries translated
+// into the four concrete syntaxes — the full workflow of the paper's
+// Fig. 1.
+//
+// Usage:
+//
+//	gmark -usecase bib -nodes 10000 -queries 20 -out ./out
+//	gmark -config config.xml -out ./out -ntriples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gmark/internal/gconfig"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/querygen"
+	"gmark/internal/schema"
+	"gmark/internal/translate"
+	"gmark/internal/usecases"
+	"gmark/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gmark: ")
+
+	var (
+		configPath = flag.String("config", "", "gMark XML configuration file (overrides -usecase)")
+		usecase    = flag.String("usecase", "bib", "built-in use case: bib, lsn, sp, wd")
+		nodes      = flag.Int("nodes", 10000, "graph size (number of nodes) for built-in use cases")
+		numQueries = flag.Int("queries", 30, "number of workload queries")
+		kind       = flag.String("workload", "con", "workload kind: len, dis, con, rec")
+		classes    = flag.String("selectivity", "constant,linear,quadratic", "comma-separated selectivity classes, or empty to disable selectivity control")
+		seed       = flag.Int64("seed", 1, "random seed")
+		outDir     = flag.String("out", "out", "output directory")
+		ntriples   = flag.Bool("ntriples", false, "also write the graph as N-Triples")
+		checkTol   = flag.Float64("consistency", 0.25, "warn when in/out expected edge counts drift more than this fraction")
+		profile    = flag.Bool("profile", false, "print the workload diversity profile to stderr")
+		stream     = flag.Bool("stream", false, "stream the graph to disk without materializing it (for very large instances)")
+	)
+	flag.Parse()
+
+	var gcfg *schema.GraphConfig
+	var wcfg querygen.Config
+	var haveWorkloadCfg bool
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := gconfig.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		gcfg, err = doc.GraphConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if w, err := doc.WorkloadConfig(); err == nil {
+			wcfg = w
+			haveWorkloadCfg = true
+		}
+	} else {
+		var err error
+		gcfg, err = usecases.ByName(*usecase, *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, w := range gcfg.CheckConsistency(*checkTol) {
+		log.Printf("warning: %s", w)
+	}
+
+	if !haveWorkloadCfg {
+		var err error
+		wcfg, err = usecases.Workload(*kind, gcfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wcfg.Count = *numQueries
+		wcfg.Classes = nil
+		if *classes != "" {
+			for _, name := range splitComma(*classes) {
+				c, err := query.ParseSelectivityClass(name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				wcfg.Classes = append(wcfg.Classes, c)
+			}
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// Graph generation: materialized by default, streaming for very
+	// large instances.
+	if *stream {
+		err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
+			stats, err := graphgen.Stream(gcfg, graphgen.Options{Seed: *seed}, w)
+			if err == nil {
+				log.Printf("graph (streamed): %d nodes, %d edges", stats.Nodes, stats.Edges)
+			}
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *ntriples {
+			log.Printf("note: -ntriples requires the materialized path; skipped under -stream")
+		}
+	} else {
+		g, err := graphgen.Generate(gcfg, graphgen.Options{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		if err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
+			return g.WriteEdgeList(w)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if *ntriples {
+			if err := writeFile(filepath.Join(*outDir, "graph.nt"), func(w *os.File) error {
+				return g.WriteNTriples(w, "")
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Workload generation.
+	gen, err := querygen.New(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := gen.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("workload: %d queries", len(qs))
+	if *profile {
+		workload.Analyze(qs).Render(os.Stderr)
+	}
+	if err := writeFile(filepath.Join(*outDir, "workload.xml"), func(w *os.File) error {
+		return gconfig.WriteQueries(w, qs)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Translations.
+	for _, syntax := range translate.Syntaxes {
+		path := filepath.Join(*outDir, fmt.Sprintf("workload.%s", syntax))
+		err := writeFile(path, func(w *os.File) error {
+			for i, q := range qs {
+				text, err := translate.To(syntax, q, translate.Options{})
+				if err != nil {
+					return fmt.Errorf("query %d: %w", i, err)
+				}
+				fmt.Fprintf(w, "-- query %d: %s\n%s\n", i, q.Rules[0].String(), text)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %s", *outDir)
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package gmark is a Go implementation of gMark, the schema-driven
+// graph instance and query workload generator of Bagan, Bonifati,
+// Ciucanu, Fletcher, Lemay and Advokaat (ICDE 2017, arXiv:1511.08386).
+//
+// gMark generates directed edge-labeled graphs from a declarative
+// graph configuration — node types and edge predicates with occurrence
+// constraints, plus in-/out-degree distributions per (source type,
+// target type, predicate) triple — and generates query workloads of
+// unions of conjunctive regular path queries (UCRPQs) coupled to the
+// same schema, with control over arity, shape, size, recursion
+// probability and, uniquely, the expected selectivity class (constant,
+// linear or quadratic) of every generated query.
+//
+// The package is a facade over the implementation packages: it
+// re-exports the configuration vocabulary, the generators, the four
+// concrete-syntax translators (SPARQL, openCypher, PostgreSQL SQL,
+// Datalog), the reference UCRPQ evaluator, and the four simulated
+// query engines used by the paper's system study.
+//
+// # Quick start
+//
+//	cfg := gmark.Bib(10000)                          // Fig. 2's schema
+//	g, _ := gmark.GenerateGraph(cfg, 42)             // a 10K-node instance
+//	wl, _ := gmark.Workload("con", cfg, 42)          // workload config
+//	gen, _ := gmark.NewWorkloadGenerator(wl)
+//	q, _ := gen.GenerateWithClass(gmark.Linear)      // a linear query
+//	sparql, _ := gmark.Translate(gmark.SPARQL, q)    // concrete syntax
+//	n, _ := gmark.Count(g, q, gmark.Budget{})        // |Q(G)|
+package gmark
+
+import (
+	"io"
+
+	"gmark/internal/dist"
+	"gmark/internal/engines"
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/querygen"
+	"gmark/internal/regpath"
+	"gmark/internal/schema"
+	"gmark/internal/selectivity"
+	"gmark/internal/translate"
+	"gmark/internal/usecases"
+	"gmark/internal/workload"
+)
+
+// Configuration vocabulary (paper, Definitions 3.1, 3.2 and 3.5).
+type (
+	// Schema is a graph schema S = (Sigma, Theta, T, eta).
+	Schema = schema.Schema
+	// GraphConfig is a graph configuration G = (n, S).
+	GraphConfig = schema.GraphConfig
+	// NodeType is one element of Theta with its occurrence constraint.
+	NodeType = schema.NodeType
+	// Predicate is one element of Sigma with its occurrence constraint.
+	Predicate = schema.Predicate
+	// EdgeConstraint is one eta entry with its degree distributions.
+	EdgeConstraint = schema.EdgeConstraint
+	// Occurrence is a fixed or proportional occurrence constraint.
+	Occurrence = schema.Occurrence
+	// Distribution is a degree distribution (uniform/gaussian/zipfian).
+	Distribution = dist.Distribution
+	// WorkloadConfig is a query workload configuration
+	// (G, #q, ar, f, e, p_r, t).
+	WorkloadConfig = querygen.Config
+)
+
+// Occurrence and distribution constructors.
+var (
+	// Proportion builds an occurrence constraint relative to |G|.
+	Proportion = schema.Proportion
+	// Fixed builds a constant occurrence constraint.
+	Fixed = schema.Fixed
+	// NewUniform builds the integer uniform distribution on [min,max].
+	NewUniform = dist.NewUniform
+	// NewGaussian builds the Gaussian distribution with mu, sigma.
+	NewGaussian = dist.NewGaussian
+	// NewZipfian builds the Zipfian distribution with exponent s.
+	NewZipfian = dist.NewZipfian
+	// Unspecified marks a non-specified distribution.
+	Unspecified = dist.Unspecified
+)
+
+// Graph instances.
+type (
+	// Graph is a generated directed edge-labeled graph instance.
+	Graph = graph.Graph
+	// Edge is one labeled edge of a Graph.
+	Edge = graph.Edge
+)
+
+// GenerateGraph runs the linear-time generation algorithm of Fig. 5 on
+// the configuration with the given seed.
+func GenerateGraph(cfg *GraphConfig, seed int64) (*Graph, error) {
+	return graphgen.Generate(cfg, graphgen.Options{Seed: seed})
+}
+
+// Queries.
+type (
+	// Query is a UCRPQ (Section 3.3).
+	Query = query.Query
+	// Rule is one query rule head <- body.
+	Rule = query.Rule
+	// Conjunct is one body subgoal (?x, r, ?y).
+	Conjunct = query.Conjunct
+	// Var is a query variable.
+	Var = query.Var
+	// PathExpr is a regular path expression over Sigma+.
+	PathExpr = regpath.Expr
+	// Shape is a structural query family (chain, star, ...).
+	Shape = query.Shape
+	// SelectivityClass is a target growth class of |Q(G)|.
+	SelectivityClass = query.SelectivityClass
+	// Interval is a closed integer interval used in size constraints.
+	Interval = query.Interval
+	// QuerySize is the size tuple t = (rules, conjuncts, disjuncts,
+	// path lengths).
+	QuerySize = query.Size
+)
+
+// Query vocabulary constants.
+const (
+	Chain     = query.Chain
+	Star      = query.Star
+	Cycle     = query.Cycle
+	StarChain = query.StarChain
+
+	Constant  = query.Constant
+	Linear    = query.Linear
+	Quadratic = query.Quadratic
+)
+
+// ParsePathExpr parses the textual form of a regular path expression,
+// e.g. "(a.b-+c)*".
+func ParsePathExpr(s string) (PathExpr, error) { return regpath.Parse(s) }
+
+// WorkloadGenerator generates queries for one workload configuration.
+type WorkloadGenerator = querygen.Generator
+
+// NewWorkloadGenerator builds a generator (precomputing the schema
+// graph, distance matrix and selectivity graph of Section 5.2.3).
+func NewWorkloadGenerator(cfg WorkloadConfig) (*WorkloadGenerator, error) {
+	return querygen.New(cfg)
+}
+
+// Selectivity estimation (Section 5.2).
+type (
+	// Estimator estimates selectivity classes against one schema.
+	Estimator = selectivity.Estimator
+	// SelTriple is a selectivity class triple (t_A, o, t_B).
+	SelTriple = selectivity.Triple
+)
+
+// NewEstimator analyzes a schema for selectivity estimation. Beyond
+// the paper's binary estimator (Estimator.EstimateAlpha), the
+// extension Estimator.EstimateAlphaNary covers chain rules projected
+// onto any subset of their chain variables — the paper's stated future
+// work.
+func NewEstimator(s *Schema) (*Estimator, error) { return selectivity.NewEstimator(s) }
+
+// Translation (Fig. 1's query translator).
+type (
+	// Syntax names a concrete output language.
+	Syntax = translate.Syntax
+	// TranslateOptions adjusts translation output.
+	TranslateOptions = translate.Options
+)
+
+// The supported concrete syntaxes.
+const (
+	SPARQL     = translate.SPARQL
+	OpenCypher = translate.OpenCypher
+	PostgreSQL = translate.PostgreSQL
+	Datalog    = translate.Datalog
+)
+
+// Translate renders the query in the named syntax.
+func Translate(s Syntax, q *Query) (string, error) {
+	return translate.To(s, q, translate.Options{})
+}
+
+// TranslateCount renders the query wrapped in the count(distinct)
+// aggregate used by the paper's measurement protocol.
+func TranslateCount(s Syntax, q *Query) (string, error) {
+	return translate.To(s, q, translate.Options{Count: true})
+}
+
+// Evaluation.
+type (
+	// Budget bounds a query evaluation; the zero value is unlimited.
+	Budget = eval.Budget
+	// Engine is one of the simulated systems of Section 7.
+	Engine = engines.Engine
+)
+
+// ErrBudget is returned when an evaluation exceeds its budget.
+var ErrBudget = eval.ErrBudget
+
+// Count evaluates the query on the graph under set semantics and
+// returns |Q(G)|, using the reference evaluator.
+func Count(g *Graph, q *Query, b Budget) (int64, error) {
+	return eval.Count(g, q, b)
+}
+
+// Engines returns the four simulated systems (P, G, S, D) of the
+// paper's engine comparison.
+func Engines() []Engine { return engines.All() }
+
+// Workload analysis.
+type (
+	// WorkloadProfile summarizes a generated workload's diversity:
+	// shape/class mixes, size histograms, predicate coverage.
+	WorkloadProfile = workload.Profile
+)
+
+// AnalyzeWorkload profiles a set of generated queries.
+func AnalyzeWorkload(queries []*Query) WorkloadProfile { return workload.Analyze(queries) }
+
+// StreamGraph generates an instance directly to w in edge-list form
+// without materializing it, for very large configurations (see
+// Table 3's 100M-node scale).
+func StreamGraph(cfg *GraphConfig, seed int64, w io.Writer) (graphgen.StreamStats, error) {
+	return graphgen.Stream(cfg, graphgen.Options{Seed: seed}, w)
+}
+
+// Use cases (Section 6.1).
+var (
+	// Bib is the bibliographical motivating example (Fig. 2).
+	Bib = usecases.Bib
+	// LSN encodes the LDBC Social Network Benchmark schema.
+	LSN = usecases.LSN
+	// SP encodes the SP2Bench DBLP schema.
+	SP = usecases.SP
+	// WD encodes the WatDiv default schema.
+	WD = usecases.WD
+	// UseCase looks a use case up by name ("bib", "lsn", "sp", "wd").
+	UseCase = usecases.ByName
+	// Workload builds the Section 6.2 stress-test workload
+	// configuration of the given kind ("len", "dis", "con", "rec").
+	Workload = usecases.Workload
+)

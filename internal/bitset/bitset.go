@@ -1,0 +1,119 @@
+// Package bitset provides a dense fixed-capacity bitset used by the
+// query evaluators for node sets and visited maps.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over [0, Cap).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity n.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i.
+func (s *Set) Add(i int32) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports membership of i.
+func (s *Set) Has(i int32) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Remove deletes i.
+func (s *Set) Remove(i int32) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// TryAdd inserts i and reports whether it was newly added.
+func (s *Set) TryAdd(i int32) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
+// Clear empties the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the cardinality.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds all elements of t, which must have equal capacity.
+func (s *Set) UnionWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith keeps only elements also in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// DiffWith removes all elements of t.
+func (s *Set) DiffWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// CopyFrom replaces the contents of s with t.
+func (s *Set) CopyFrom(t *Set) { copy(s.words, t.words) }
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Range calls fn for each element in ascending order; fn returning
+// false stops the iteration.
+func (s *Set) Range(fn func(i int32) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(int32(wi<<6 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the elements in ascending order to dst and returns
+// the extended slice.
+func (s *Set) AppendTo(dst []int32) []int32 {
+	s.Range(func(i int32) bool {
+		dst = append(dst, i)
+		return true
+	})
+	return dst
+}

@@ -1,0 +1,211 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"gmark/internal/graph"
+)
+
+// lineGraph: 0 -a-> 1 -a-> 2 -b-> 3.
+func lineGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New([]string{"t"}, []int{4}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(2, 1, 3)
+	g.Freeze()
+	return g
+}
+
+func TestParseBasics(t *testing.T) {
+	src := `% comment
+p(X, Y) :- a(X, Z), b(Z, Y).
+ans(X) :- p(X, _).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if r.Head.Pred != "p" || len(r.Head.Terms) != 2 || len(r.Body) != 2 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if prog.Rules[1].Body[0].Terms[1].Var != "_" {
+		t.Error("wildcard lost")
+	}
+}
+
+func TestParseEquality(t *testing.T) {
+	prog, err := Parse("p(X, Y) :- node(X), X = Y.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Body[1].Pred != "=" {
+		t.Errorf("equality atom = %+v", prog.Rules[0].Body[1])
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	prog, err := Parse("ans :- a(X, Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Head.Pred != "ans" || len(prog.Rules[0].Head.Terms) != 0 {
+		t.Errorf("head = %+v", prog.Rules[0].Head)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"p(X, Y) :- a(X, Y)\n", // missing period
+		"p(X :- a(X, Y).\n",    // unbalanced
+		"() :- a(X, Y).\n",     // empty atom
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("program should not parse: %q", src)
+		}
+	}
+}
+
+func TestRunSimpleJoin(t *testing.T) {
+	g := lineGraph(t)
+	prog, err := Parse("ans(X, Y) :- a(X, Z), a(Z, Y).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountAns(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // (0,2)
+		t.Errorf("|ans| = %d, want 1", n)
+	}
+}
+
+func TestRunInverseViaSwappedArgs(t *testing.T) {
+	g := lineGraph(t)
+	// b-(X, Y) is b(Y, X).
+	prog, err := Parse("ans(X, Y) :- b(Y, X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, err := Run(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	idb["ans"].Each(func(tuple []int32) bool {
+		if tuple[0] == 3 && tuple[1] == 2 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("expected (3,2) in ans")
+	}
+}
+
+func TestRunRecursion(t *testing.T) {
+	g := lineGraph(t)
+	src := `
+p_step(X, Y) :- a(X, Y).
+p(X, X) :- a(X, _).
+p(X, X) :- a(_, X).
+p(X, Y) :- p(X, Z), p_step(Z, Y).
+ans(X, Y) :- p(X, Y).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountAns(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a-closure over domain {0,1,2}: identities (3) + (0,1),(1,2),(0,2).
+	if n != 6 {
+		t.Errorf("|ans| = %d, want 6", n)
+	}
+}
+
+func TestRunBoolean(t *testing.T) {
+	g := lineGraph(t)
+	prog, err := Parse("ans :- a(X, Y), b(Y, Z).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountAns(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("boolean = %d, want 1", n)
+	}
+	prog2, _ := Parse("ans :- b(X, Y), b(Y, Z).\n")
+	n2, err := CountAns(g, prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("boolean false = %d", n2)
+	}
+}
+
+func TestRunNodeAndEquality(t *testing.T) {
+	g := lineGraph(t)
+	prog, err := Parse("ans(X, Y) :- node(X), X = Y.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountAns(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("identity = %d, want 4", n)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := lineGraph(t)
+	for _, src := range []string{
+		"ans(X, Y) :- nosuch(X, Y).\n",           // unknown predicate
+		"ans(X, Y) :- a(X, Z).\n",                // unsafe head variable Y
+		"ans(X) :- X = Y.\n",                     // equality of two unbound
+		"p(X) :- a(X, _).\nans(X) :- p(X, X).\n", // arity clash
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Run(g, prog); err == nil {
+			t.Errorf("program should fail: %q", src)
+		}
+	}
+}
+
+func TestRelationAddDedup(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Add([]int32{1, 2}) || r.Add([]int32{1, 2}) {
+		t.Error("Add dedup broken")
+	}
+	if r.Len() != 1 {
+		t.Error("Len broken")
+	}
+}
+
+func TestCountAnsMissing(t *testing.T) {
+	g := lineGraph(t)
+	prog, _ := Parse("p(X, Y) :- a(X, Y).\n")
+	if _, err := CountAns(g, prog); err == nil || !strings.Contains(err.Error(), "ans") {
+		t.Errorf("expected missing-ans error, got %v", err)
+	}
+}

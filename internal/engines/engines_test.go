@@ -1,0 +1,390 @@
+package engines
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+func randomGraph(r *rand.Rand, n, preds, edges int) *graph.Graph {
+	names := make([]string, preds)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	g, _ := graph.New([]string{"t"}, []int{n}, names)
+	for i := 0; i < edges; i++ {
+		g.AddEdge(int32(r.Intn(n)), int32(r.Intn(preds)), int32(r.Intn(n)))
+	}
+	g.Freeze()
+	return g
+}
+
+func chainQuery(star bool, exprs ...string) *query.Query {
+	var body []query.Conjunct
+	for i, e := range exprs {
+		pe := regpath.MustParse(e)
+		body = append(body, query.Conjunct{Src: query.Var(i), Dst: query.Var(i + 1), Expr: pe})
+	}
+	if star {
+		body[0].Expr.Star = true
+	}
+	return &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, query.Var(len(exprs))},
+		Body: body,
+	}}}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("expected 4 engines, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, e := range all {
+		names[e.Name()] = true
+		if e.Describe() == "" {
+			t.Errorf("engine %s has no description", e.Name())
+		}
+	}
+	for _, n := range []string{"P", "G", "S", "D"} {
+		if !names[n] {
+			t.Errorf("missing engine %s", n)
+		}
+		e, err := ByName(n)
+		if err != nil || e.Name() != n {
+			t.Errorf("ByName(%s) = %v, %v", n, e, err)
+		}
+	}
+	if _, err := ByName("X"); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// TestEnginesMatchReferenceNonRecursive cross-checks all four engines
+// against the reference evaluator on random graphs and non-recursive
+// chain queries (G included: without stars its traversal semantics
+// coincide with set semantics after RETURN DISTINCT).
+func TestEnginesMatchReferenceNonRecursive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	queries := []*query.Query{
+		chainQuery(false, "a"),
+		chainQuery(false, "a-"),
+		chainQuery(false, "a.b"),
+		chainQuery(false, "(a+b)"),
+		chainQuery(false, "(a.b+b-)"),
+		chainQuery(false, "a", "b"),
+		chainQuery(false, "(a+b)", "b-", "a"),
+	}
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(r, 15+r.Intn(25), 2, 60+r.Intn(80))
+		for qi, q := range queries {
+			want, err := eval.Count(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range All() {
+				got, err := eng.Evaluate(g, q, eval.Budget{})
+				if err != nil {
+					t.Fatalf("engine %s query %d: %v", eng.Name(), qi, err)
+				}
+				if got != want {
+					t.Fatalf("trial %d engine %s query %d: got %d, want %d\n%s",
+						trial, eng.Name(), qi, got, want, q)
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesMatchReferenceRecursive checks that P, S and D agree with
+// the reference on starred queries; G is excluded because it rewrites
+// the pattern (Section 7.1).
+func TestEnginesMatchReferenceRecursive(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	queries := []*query.Query{
+		chainQuery(false, "(a)*"),
+		chainQuery(false, "(a.b)*"),
+		chainQuery(false, "(a+b-)*"),
+		chainQuery(false, "(a)*", "b"),
+		chainQuery(false, "b", "(a)*"),
+	}
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(r, 12+r.Intn(15), 2, 40+r.Intn(40))
+		for qi, q := range queries {
+			want, err := eval.Count(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range All() {
+				if eng.Name() == "G" {
+					continue
+				}
+				got, err := eng.Evaluate(g, q, eval.Budget{})
+				if err != nil {
+					t.Fatalf("engine %s query %d: %v", eng.Name(), qi, err)
+				}
+				if got != want {
+					t.Fatalf("trial %d engine %s query %d: got %d, want %d\n%s",
+						trial, eng.Name(), qi, got, want, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGraphDBRewritesRecursion(t *testing.T) {
+	gdb := NewGraphDB()
+	if gdb.RewritesRecursion(chainQuery(false, "a")) {
+		t.Error("non-recursive query is not rewritten")
+	}
+	if gdb.RewritesRecursion(chainQuery(false, "(a)*")) {
+		t.Error("single forward label star is Cypher-expressible")
+	}
+	if !gdb.RewritesRecursion(chainQuery(false, "(a-)*")) {
+		t.Error("inverse under star is rewritten")
+	}
+	if !gdb.RewritesRecursion(chainQuery(false, "(a.b)*")) {
+		t.Error("concatenation under star is rewritten")
+	}
+	if !gdb.RewritesRecursion(chainQuery(false, "(a+b)*")) {
+		t.Error("multi-disjunct star is rewritten")
+	}
+}
+
+func TestGraphDBSingleLabelStarMatches(t *testing.T) {
+	// For a plain (a)* the Cypher *0.. traversal and set semantics
+	// agree except for the zero-length domain: Cypher's *0.. matches
+	// every node. Check G >= reference and that the surplus is exactly
+	// the non-participating identity count.
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(r, 20, 1, 30)
+	q := chainQuery(false, "(a)*")
+	want, err := eval.Count(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewGraphDB().Evaluate(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < want {
+		t.Errorf("G star count %d < reference %d", got, want)
+	}
+}
+
+func TestEnginesStarShapeQuery(t *testing.T) {
+	// Non-chain shape through the generic binding machinery.
+	r := rand.New(rand.NewSource(10))
+	g := randomGraph(r, 18, 2, 60)
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{1, 2},
+		Body: []query.Conjunct{
+			{Src: 0, Dst: 1, Expr: regpath.MustParse("a")},
+			{Src: 0, Dst: 2, Expr: regpath.MustParse("b")},
+		},
+	}}}
+	want, err := eval.Count(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range All() {
+		got, err := eng.Evaluate(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if got != want {
+			t.Errorf("%s star-shape = %d, want %d", eng.Name(), got, want)
+		}
+	}
+}
+
+func TestEnginesSelfLoopConjunct(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 15, 2, 60)
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0},
+		Body: []query.Conjunct{{Src: 0, Dst: 0, Expr: regpath.MustParse("a.a")}},
+	}}}
+	want, err := eval.Count(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range All() {
+		got, err := eng.Evaluate(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if got != want {
+			t.Errorf("%s self-loop = %d, want %d", eng.Name(), got, want)
+		}
+	}
+}
+
+func TestEnginesBooleanAndUnary(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := randomGraph(r, 15, 2, 50)
+	boolean := &query.Query{Rules: []query.Rule{{
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a")}},
+	}}}
+	unary := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a.b")}},
+	}}}
+	for _, q := range []*query.Query{boolean, unary} {
+		want, err := eval.Count(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range All() {
+			got, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("%s: %v", eng.Name(), err)
+			}
+			if got != want {
+				t.Errorf("%s arity-%d = %d, want %d", eng.Name(), q.Arity(), got, want)
+			}
+		}
+	}
+}
+
+func TestEnginesUnionRules(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := randomGraph(r, 15, 2, 50)
+	q := &query.Query{Rules: []query.Rule{
+		{Head: []query.Var{0, 1}, Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a")}}},
+		{Head: []query.Var{0, 1}, Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("b")}}},
+	}}
+	want, err := eval.Count(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range All() {
+		got, err := eng.Evaluate(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if got != want {
+			t.Errorf("%s union = %d, want %d", eng.Name(), got, want)
+		}
+	}
+}
+
+func TestEnginesEpsilonDisjunct(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := randomGraph(r, 15, 2, 40)
+	queries := []*query.Query{
+		chainQuery(false, "(eps+a)"),
+		chainQuery(false, "eps", "a"),
+		chainQuery(false, "(eps+a.b)"),
+	}
+	for qi, q := range queries {
+		want, err := eval.Count(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range All() {
+			got, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("%s query %d: %v", eng.Name(), qi, err)
+			}
+			if got != want {
+				t.Errorf("%s query %d: got %d, want %d", eng.Name(), qi, got, want)
+			}
+		}
+	}
+}
+
+func TestPostgresBudgetOnClosure(t *testing.T) {
+	// A dense cycle: the closure materializes n^2 pairs, exceeding a
+	// small budget — the Table 4 cliff.
+	n := 200
+	g, _ := graph.New([]string{"t"}, []int{n}, []string{"a"})
+	for i := 0; i < n; i++ {
+		g.AddEdge(int32(i), 0, int32((i+1)%n))
+	}
+	g.Freeze()
+	q := chainQuery(false, "(a)*")
+	_, err := NewPostgres().Evaluate(g, q, eval.Budget{MaxPairs: 1000})
+	if !errors.Is(err, eval.ErrBudget) {
+		t.Errorf("expected budget failure, got %v", err)
+	}
+	// With a sufficient budget it completes and agrees.
+	got, err := NewPostgres().Evaluate(g, q, eval.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(n*n) {
+		t.Errorf("closure count = %d, want %d", got, n*n)
+	}
+}
+
+func TestTripleStoreBudgetTimeout(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	g := randomGraph(r, 400, 1, 1600)
+	q := chainQuery(false, "(a)*")
+	_, err := NewTripleStore().Evaluate(g, q, eval.Budget{Timeout: time.Nanosecond, MaxPairs: 1 << 50})
+	if !errors.Is(err, eval.ErrBudget) {
+		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+func TestUnknownPredicateAllEngines(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	g := randomGraph(r, 10, 1, 10)
+	q := chainQuery(false, "zzz")
+	for _, eng := range All() {
+		if _, err := eng.Evaluate(g, q, eval.Budget{}); err == nil {
+			t.Errorf("%s should reject unknown predicates", eng.Name())
+		}
+	}
+}
+
+// TestEnginesRandomizedAgreement is the broad property test: random
+// graphs, random non-recursive chain queries, all engines equal the
+// reference count.
+func TestEnginesRandomizedAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	preds := 3
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(r, 10+r.Intn(20), preds, 40+r.Intn(60))
+		numConjuncts := 1 + r.Intn(3)
+		var body []query.Conjunct
+		for i := 0; i < numConjuncts; i++ {
+			var e regpath.Expr
+			for j := 0; j <= r.Intn(2); j++ {
+				var p regpath.Path
+				for k := 0; k <= r.Intn(2); k++ {
+					p = append(p, regpath.Symbol{
+						Pred:    string(rune('a' + r.Intn(preds))),
+						Inverse: r.Intn(2) == 0,
+					})
+				}
+				e.Paths = append(e.Paths, p)
+			}
+			body = append(body, query.Conjunct{Src: query.Var(i), Dst: query.Var(i + 1), Expr: e})
+		}
+		q := &query.Query{Rules: []query.Rule{{
+			Head: []query.Var{0, query.Var(numConjuncts)},
+			Body: body,
+		}}}
+		want, err := eval.Count(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range All() {
+			got, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("%s: %v on\n%s", eng.Name(), err, q)
+			}
+			if got != want {
+				t.Fatalf("trial %d: %s = %d, want %d on\n%s", trial, eng.Name(), got, want, q)
+			}
+		}
+	}
+}

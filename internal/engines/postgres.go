@@ -1,0 +1,241 @@
+package engines
+
+import (
+	"fmt"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/query"
+)
+
+// Postgres models system P: a relational engine that materializes
+// every intermediate relation, joins with hash joins ordered by input
+// size, and evaluates Kleene stars as SQL:1999 linear recursion over a
+// materialized working table. It is the strongest system on constant
+// and linear non-recursive workloads (Fig. 12a/12b) and collapses on
+// large transitive closures (Table 4).
+type Postgres struct{}
+
+// NewPostgres returns the P engine.
+func NewPostgres() *Postgres { return &Postgres{} }
+
+// Name implements Engine.
+func (*Postgres) Name() string { return "P" }
+
+// Describe implements Engine.
+func (*Postgres) Describe() string {
+	return "relational engine: materialized hash joins, recursive-view closure"
+}
+
+type pair struct{ src, dst int32 }
+
+// pgBudget tracks materialized tuples against the budget.
+type pgBudget struct {
+	pairs    int64
+	maxPairs int64
+	deadline time.Time
+}
+
+func newPgBudget(b eval.Budget) *pgBudget {
+	bt := &pgBudget{maxPairs: b.MaxPairs}
+	if b.Timeout > 0 {
+		bt.deadline = time.Now().Add(b.Timeout)
+	}
+	return bt
+}
+
+func (b *pgBudget) charge(n int64) error {
+	b.pairs += n
+	if b.maxPairs > 0 && b.pairs > b.maxPairs {
+		return fmt.Errorf("%w: materialized more than %d tuples", eval.ErrBudget, b.maxPairs)
+	}
+	return nil
+}
+
+func (b *pgBudget) checkTime() error {
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return fmt.Errorf("%w: timeout", eval.ErrBudget)
+	}
+	return nil
+}
+
+// Evaluate implements Engine.
+func (e *Postgres) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+	c, err := compile(g, q)
+	if err != nil {
+		return 0, err
+	}
+	bt := newPgBudget(budget)
+	out := newTupleSet(c.arity)
+	for ri := range c.rules {
+		if err := e.evalRule(g, &c.rules[ri], bt, out); err != nil {
+			return 0, err
+		}
+	}
+	return out.count(), nil
+}
+
+func (e *Postgres) evalRule(g *graph.Graph, r *compiledRule, bt *pgBudget, out *tupleSet) error {
+	rels := make([][]pair, len(r.body))
+	for i := range r.body {
+		rel, err := e.evalConjunct(g, &r.body[i], bt)
+		if err != nil {
+			return err
+		}
+		rels[i] = rel
+	}
+	return joinRelations(r, rels, bt, out)
+}
+
+// evalConjunct materializes one conjunct relation: the union of its
+// disjunct path joins, closed under the star if present.
+func (e *Postgres) evalConjunct(g *graph.Graph, cj *compiledConjunct, bt *pgBudget) ([]pair, error) {
+	base, err := e.evalAlternation(g, cj.paths, bt)
+	if err != nil {
+		return nil, err
+	}
+	if !cj.star {
+		return base, nil
+	}
+	return e.closure(g, cj, base, bt)
+}
+
+// evalAlternation unions the materialized disjunct relations.
+func (e *Postgres) evalAlternation(g *graph.Graph, paths [][]csym, bt *pgBudget) ([]pair, error) {
+	seen := make(map[uint64]struct{})
+	var out []pair
+	for _, path := range paths {
+		rel, err := e.evalPath(g, path, bt)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range rel {
+			k := pairKey(p.src, p.dst)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, p)
+			if err := bt.charge(1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalPath joins the symbol relations of a path left to right.
+func (e *Postgres) evalPath(g *graph.Graph, path []csym, bt *pgBudget) ([]pair, error) {
+	if len(path) == 0 {
+		out := make([]pair, g.NumNodes())
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			out[v] = pair{v, v}
+		}
+		return out, bt.charge(int64(len(out)))
+	}
+	cur, err := e.symbolScan(g, path[0], bt)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range path[1:] {
+		next, err := e.symbolScan(g, s, bt)
+		if err != nil {
+			return nil, err
+		}
+		// Hash join cur.dst = next.src, deduplicated.
+		h := make(map[int32][]int32)
+		for _, p := range next {
+			h[p.src] = append(h[p.src], p.dst)
+		}
+		seen := make(map[uint64]struct{})
+		var out []pair
+		for _, p := range cur {
+			if err := bt.checkTime(); err != nil {
+				return nil, err
+			}
+			for _, d := range h[p.dst] {
+				k := pairKey(p.src, d)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				out = append(out, pair{p.src, d})
+				if err := bt.charge(1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// symbolScan is a full scan of the edge table filtered on one label.
+func (e *Postgres) symbolScan(g *graph.Graph, s csym, bt *pgBudget) ([]pair, error) {
+	n := g.PredEdgeCount(s.pred)
+	out := make([]pair, 0, n)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		for _, w := range g.Neighbors(v, s.pred, s.inv) {
+			out = append(out, pair{v, w})
+		}
+	}
+	return out, bt.charge(int64(len(out)))
+}
+
+// closure computes the reflexive-transitive closure of a materialized
+// relation via the recursive-view working-table iteration: the entire
+// closure is materialized pair by pair, which is exactly what breaks
+// P on quadratic closures (Table 4).
+func (e *Postgres) closure(g *graph.Graph, cj *compiledConjunct, base []pair, bt *pgBudget) ([]pair, error) {
+	adj := make(map[int32][]int32)
+	for _, p := range base {
+		adj[p.src] = append(adj[p.src], p.dst)
+	}
+	seen := make(map[uint64]struct{})
+	var all []pair
+	add := func(p pair) (bool, error) {
+		k := pairKey(p.src, p.dst)
+		if _, dup := seen[k]; dup {
+			return false, nil
+		}
+		seen[k] = struct{}{}
+		all = append(all, p)
+		return true, bt.charge(1)
+	}
+	// Seed: identity over the star's active domain.
+	var delta []pair
+	var seedErr error
+	starDomain(g, cj).Range(func(v int32) bool {
+		p := pair{v, v}
+		if _, err := add(p); err != nil {
+			seedErr = err
+			return false
+		}
+		delta = append(delta, p)
+		return true
+	})
+	if seedErr != nil {
+		return nil, seedErr
+	}
+	for len(delta) > 0 {
+		if err := bt.checkTime(); err != nil {
+			return nil, err
+		}
+		var next []pair
+		for _, p := range delta {
+			for _, d := range adj[p.dst] {
+				np := pair{p.src, d}
+				fresh, err := add(np)
+				if err != nil {
+					return nil, err
+				}
+				if fresh {
+					next = append(next, np)
+				}
+			}
+		}
+		delta = next
+	}
+	return all, nil
+}

@@ -1,0 +1,344 @@
+package engines
+
+import (
+	"fmt"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/query"
+)
+
+// TripleStore models system S: a SPARQL engine over permuted triple
+// indexes. Basic graph patterns are evaluated binding-at-a-time with
+// index nested-loop joins; property paths compute per-binding
+// duplicate-free node sets (SPARQL property-path set semantics), which
+// avoids materializing binary relations and makes S the fastest system
+// on quadratic non-recursive workloads (Fig. 12c). Recursive paths,
+// however, are evaluated by naively rematerializing the closure
+// relation, so S fails beyond small instances (Table 4).
+type TripleStore struct{}
+
+// NewTripleStore returns the S engine.
+func NewTripleStore() *TripleStore { return &TripleStore{} }
+
+// Name implements Engine.
+func (*TripleStore) Name() string { return "S" }
+
+// Describe implements Engine.
+func (*TripleStore) Describe() string {
+	return "triple store: index nested-loop joins, per-binding property paths"
+}
+
+type tsBudget struct {
+	work     int64
+	maxWork  int64
+	deadline time.Time
+	counter  int
+}
+
+func newTsBudget(b eval.Budget) *tsBudget {
+	bt := &tsBudget{maxWork: b.MaxPairs}
+	if b.Timeout > 0 {
+		bt.deadline = time.Now().Add(b.Timeout)
+	}
+	return bt
+}
+
+func (b *tsBudget) charge(n int64) error {
+	b.work += n
+	if b.maxWork > 0 && b.work > b.maxWork {
+		return fmt.Errorf("%w: more than %d bindings", eval.ErrBudget, b.maxWork)
+	}
+	b.counter++
+	if b.counter&1023 == 0 {
+		return b.checkTime()
+	}
+	return nil
+}
+
+func (b *tsBudget) checkTime() error {
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return fmt.Errorf("%w: timeout", eval.ErrBudget)
+	}
+	return nil
+}
+
+// Evaluate implements Engine.
+func (e *TripleStore) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+	c, err := compile(g, q)
+	if err != nil {
+		return 0, err
+	}
+	bt := newTsBudget(budget)
+	out := newTupleSet(c.arity)
+	for ri := range c.rules {
+		if err := e.evalRule(g, &c.rules[ri], bt, out); err != nil {
+			return 0, err
+		}
+	}
+	return out.count(), nil
+}
+
+func (e *TripleStore) evalRule(g *graph.Graph, r *compiledRule, bt *tsBudget, out *tupleSet) error {
+	// Precompute closures of starred conjuncts (naive materialization:
+	// the architectural weakness of S on recursion).
+	closures := make([]map[int32][]int32, len(r.body))
+	for i := range r.body {
+		if r.body[i].star {
+			cl, err := e.naiveClosure(g, &r.body[i], bt)
+			if err != nil {
+				return err
+			}
+			closures[i] = cl
+		}
+	}
+
+	binding := make(map[query.Var]int32)
+	tuple := make([]int32, len(r.head))
+	emit := func() {
+		for i, v := range r.head {
+			tuple[i] = binding[v]
+		}
+		out.add(tuple)
+	}
+
+	order := planOrder(r)
+
+	var solve func(step int) error
+	solve = func(step int) error {
+		if step == len(order) {
+			emit()
+			return nil
+		}
+		ci := order[step]
+		cj := &r.body[ci]
+		src, srcBound := binding[cj.src]
+		dst, dstBound := binding[cj.dst]
+
+		expand := func(from int32, forward bool) error {
+			var targets map[int32]struct{}
+			var err error
+			if cj.star {
+				targets, err = closureImage(closures[ci], from, forward, g)
+			} else {
+				targets, err = e.pathImage(g, cj.paths, from, forward, bt)
+			}
+			if err != nil {
+				return err
+			}
+			boundVar := cj.Dst()
+			if !forward {
+				boundVar = cj.Src()
+			}
+			if cj.src == cj.dst {
+				if _, ok := targets[from]; ok {
+					return solve(step + 1)
+				}
+				return nil
+			}
+			for t := range targets {
+				binding[boundVar] = t
+				if err := solve(step + 1); err != nil {
+					return err
+				}
+			}
+			delete(binding, boundVar)
+			return nil
+		}
+
+		switch {
+		case srcBound && dstBound:
+			var targets map[int32]struct{}
+			var err error
+			if cj.star {
+				targets, err = closureImage(closures[ci], src, true, g)
+			} else {
+				targets, err = e.pathImage(g, cj.paths, src, true, bt)
+			}
+			if err != nil {
+				return err
+			}
+			if _, ok := targets[dst]; ok {
+				return solve(step + 1)
+			}
+			return nil
+		case srcBound:
+			return expand(src, true)
+		case dstBound:
+			return expand(dst, false)
+		default:
+			// No binding yet: scan all subjects (a triple store has no
+			// schema-level pruning, so every node is a candidate).
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				if err := bt.charge(1); err != nil {
+					return err
+				}
+				binding[cj.src] = v
+				if err := expand(v, true); err != nil {
+					return err
+				}
+			}
+			delete(binding, cj.src)
+			return nil
+		}
+	}
+	return solve(0)
+}
+
+// Src and Dst accessors used by the generic expand helper.
+func (c *compiledConjunct) Src() query.Var { return c.src }
+func (c *compiledConjunct) Dst() query.Var { return c.dst }
+
+// planOrder orders conjuncts so that each one (after the first) shares
+// a variable with an earlier one when possible.
+func planOrder(r *compiledRule) []int {
+	n := len(r.body)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[query.Var]bool{}
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if bound[r.body[i].src] || bound[r.body[i].dst] {
+				best = i
+				break
+			}
+			if best < 0 {
+				best = i
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		bound[r.body[best].src] = true
+		bound[r.body[best].dst] = true
+	}
+	return order
+}
+
+// pathImage computes the duplicate-free image of one node under the
+// alternation of paths, forward or backward, with per-binding hash
+// sets (the triple-store overhead).
+func (e *TripleStore) pathImage(g *graph.Graph, paths [][]csym, from int32, forward bool, bt *tsBudget) (map[int32]struct{}, error) {
+	result := make(map[int32]struct{})
+	for _, p := range paths {
+		frontier := map[int32]struct{}{from: {}}
+		syms := p
+		if !forward {
+			syms = reversePath(p)
+		}
+		for _, s := range syms {
+			next := make(map[int32]struct{})
+			for v := range frontier {
+				if err := bt.charge(1); err != nil {
+					return nil, err
+				}
+				for _, w := range g.Neighbors(v, s.pred, s.inv) {
+					next[w] = struct{}{}
+				}
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				break
+			}
+		}
+		for v := range frontier {
+			result[v] = struct{}{}
+		}
+	}
+	return result, nil
+}
+
+func reversePath(p []csym) []csym {
+	r := make([]csym, len(p))
+	for i, s := range p {
+		r[len(p)-1-i] = csym{pred: s.pred, inv: !s.inv}
+	}
+	return r
+}
+
+// naiveClosure materializes the reflexive-transitive closure of a
+// starred conjunct with naive iteration: each round rejoins the whole
+// accumulated relation against the one-step relation (no delta), the
+// behavior that makes S fail on recursion beyond small graphs.
+func (e *TripleStore) naiveClosure(g *graph.Graph, cj *compiledConjunct, bt *tsBudget) (map[int32][]int32, error) {
+	n := int32(g.NumNodes())
+	// One-step adjacency via per-source path images.
+	step := make(map[int32][]int32)
+	for v := int32(0); v < n; v++ {
+		img, err := e.pathImage(g, cj.paths, v, true, bt)
+		if err != nil {
+			return nil, err
+		}
+		for w := range img {
+			step[v] = append(step[v], w)
+		}
+	}
+	// R := identity over the star's active domain; repeat
+	// R := R union (R join step) until fixpoint, rescanning all of R
+	// each round.
+	closure := make(map[int32][]int32)
+	member := make(map[uint64]struct{})
+	var seedErr error
+	starDomain(g, cj).Range(func(v int32) bool {
+		closure[v] = []int32{v}
+		member[pairKey(v, v)] = struct{}{}
+		if err := bt.charge(1); err != nil {
+			seedErr = err
+			return false
+		}
+		return true
+	})
+	if seedErr != nil {
+		return nil, seedErr
+	}
+	for changed := true; changed; {
+		changed = false
+		for src, row := range closure {
+			if err := bt.checkTime(); err != nil {
+				return nil, err
+			}
+			for _, mid := range row {
+				for _, dst := range step[mid] {
+					k := pairKey(src, dst)
+					if _, ok := member[k]; ok {
+						if err := bt.charge(1); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					member[k] = struct{}{}
+					closure[src] = append(closure[src], dst)
+					changed = true
+					if err := bt.charge(1); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return closure, nil
+}
+
+// closureImage reads one row (or column) of a materialized closure.
+func closureImage(cl map[int32][]int32, from int32, forward bool, g *graph.Graph) (map[int32]struct{}, error) {
+	out := make(map[int32]struct{})
+	if forward {
+		for _, w := range cl[from] {
+			out[w] = struct{}{}
+		}
+		return out, nil
+	}
+	for src, row := range cl {
+		for _, w := range row {
+			if w == from {
+				out[src] = struct{}{}
+				break
+			}
+		}
+	}
+	return out, nil
+}

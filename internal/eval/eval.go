@@ -1,0 +1,397 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"gmark/internal/bitset"
+	"gmark/internal/graph"
+	"gmark/internal/query"
+)
+
+// Count evaluates the query under set semantics and returns the number
+// of distinct head tuples, |Q(G)| (the selectivity of Q on G, paper
+// Section 5.2.1). Chain-shaped rules with endpoint projections are
+// evaluated by a streaming per-source algorithm; everything else goes
+// through the join evaluator.
+func Count(g *graph.Graph, q *query.Query, b Budget) (int64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	tr := newTracker(b)
+	if plans, ok := planStreaming(g, q); ok {
+		return countStreaming(g, q, plans, tr)
+	}
+	return countJoin(g, q, tr)
+}
+
+// Tuples evaluates the query with the join evaluator and returns the
+// distinct head tuples, sorted lexicographically. Intended for tests
+// and small graphs.
+func Tuples(g *graph.Graph, q *query.Query, b Budget) ([][]int32, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tr := newTracker(b)
+	set, err := joinTuples(g, q, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int32, 0, len(set))
+	for _, t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// streamPlan describes one rule normalized for streaming evaluation:
+// a sequence of compiled expressions applied left to right from the
+// iterated source variable, plus how the head projects onto the
+// (source, target) endpoints.
+type streamPlan struct {
+	exprs []compiledExpr
+	proj  projection
+}
+
+type projection uint8
+
+const (
+	projBoolean projection = iota // head ()
+	projSource                    // head (start)
+	projTarget                    // head (end)
+	projPair                      // head (start, end)
+)
+
+// planStreaming checks whether every rule is a chain whose head uses
+// only the chain endpoints, and builds per-rule plans. Rules whose
+// head is (end, start) are reversed so that all plans stream from the
+// same tuple orientation.
+func planStreaming(g *graph.Graph, q *query.Query) ([]streamPlan, bool) {
+	plans := make([]streamPlan, 0, len(q.Rules))
+	for _, r := range q.Rules {
+		start, end, ok := chainEndpoints(r)
+		if !ok {
+			return nil, false
+		}
+		exprs := make([]compiledExpr, len(r.Body))
+		for i, c := range r.Body {
+			ce, err := compileExpr(g, c.Expr)
+			if err != nil {
+				return nil, false
+			}
+			exprs[i] = ce
+		}
+		var p streamPlan
+		switch {
+		case len(r.Head) == 0:
+			p = streamPlan{exprs: exprs, proj: projBoolean}
+		case len(r.Head) == 1 && r.Head[0] == start:
+			p = streamPlan{exprs: exprs, proj: projSource}
+		case len(r.Head) == 1 && r.Head[0] == end:
+			p = streamPlan{exprs: exprs, proj: projTarget}
+		case len(r.Head) == 2 && r.Head[0] == start && r.Head[1] == end:
+			p = streamPlan{exprs: exprs, proj: projPair}
+		case len(r.Head) == 2 && r.Head[0] == end && r.Head[1] == start:
+			// Reverse the chain so the streamed pair is (head0, head1).
+			rev := make([]compiledExpr, len(exprs))
+			for i, e := range exprs {
+				rev[len(exprs)-1-i] = e.reverse()
+			}
+			p = streamPlan{exprs: rev, proj: projPair}
+		default:
+			return nil, false
+		}
+		plans = append(plans, p)
+	}
+	return plans, true
+}
+
+// chainEndpoints checks that the rule body is a variable chain
+// x0 -> x1 -> ... -> xk with distinct variables and returns (x0, xk).
+func chainEndpoints(r query.Rule) (start, end query.Var, ok bool) {
+	seen := map[query.Var]bool{}
+	for i, c := range r.Body {
+		if i == 0 {
+			start = c.Src
+			seen[start] = true
+		} else if c.Src != end {
+			return 0, 0, false
+		}
+		if seen[c.Dst] {
+			return 0, 0, false
+		}
+		seen[c.Dst] = true
+		end = c.Dst
+	}
+	return start, end, true
+}
+
+// countStreaming evaluates all plans source by source, unioning the
+// per-source result sets across rules before counting, which yields
+// distinct counts across the whole union without materializing it.
+func countStreaming(g *graph.Graph, q *query.Query, plans []streamPlan, tr *tracker) (int64, error) {
+	n := g.NumNodes()
+	cur := bitset.New(n)
+	nxt := bitset.New(n)
+	sa, sb := bitset.New(n), bitset.New(n)
+	acc := bitset.New(n)      // per-source union across rules
+	colUnion := bitset.New(n) // global union of targets (projTarget)
+	anyResult := false
+	srcSeen := bitset.New(n)
+
+	var total int64
+	for v := int32(0); v < int32(n); v++ {
+		if err := tr.checkTime(); err != nil {
+			return 0, err
+		}
+		acc.Clear()
+		accUsed := false
+		for _, p := range plans {
+			cur.Clear()
+			cur.Add(v)
+			ok := true
+			for _, e := range p.exprs {
+				if err := exprImage(g, e, cur, nxt, sa, sb, tr); err != nil {
+					return 0, err
+				}
+				cur.CopyFrom(nxt)
+				if cur.Empty() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			switch p.proj {
+			case projBoolean:
+				anyResult = true
+			case projSource:
+				srcSeen.Add(v)
+			case projTarget:
+				colUnion.UnionWith(cur)
+			case projPair:
+				acc.UnionWith(cur)
+				accUsed = true
+			}
+		}
+		if accUsed {
+			c := int64(acc.Count())
+			total += c
+			if err := tr.charge(c); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Combine the projection modes; a valid UCRPQ has uniform arity, so
+	// only one of the accumulators is populated.
+	switch plans[0].proj {
+	case projBoolean:
+		if anyResult {
+			return 1, nil
+		}
+		return 0, nil
+	case projSource:
+		return int64(srcSeen.Count()), nil
+	case projTarget:
+		return int64(colUnion.Count()), nil
+	default:
+		return total, nil
+	}
+}
+
+// countJoin evaluates via the join evaluator and counts distinct head
+// tuples.
+func countJoin(g *graph.Graph, q *query.Query, tr *tracker) (int64, error) {
+	set, err := joinTuples(g, q, tr)
+	if err != nil {
+		return 0, err
+	}
+	if q.Arity() == 0 {
+		if len(set) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return int64(len(set)), nil
+}
+
+// joinTuples materializes per-conjunct relations and enumerates rule
+// bindings by backtracking joins, collecting distinct head tuples.
+func joinTuples(g *graph.Graph, q *query.Query, tr *tracker) (map[string][]int32, error) {
+	out := make(map[string][]int32)
+	for ri := range q.Rules {
+		if err := joinRule(g, &q.Rules[ri], tr, out); err != nil {
+			return nil, fmt.Errorf("rule %d: %w", ri, err)
+		}
+	}
+	return out, nil
+}
+
+func joinRule(g *graph.Graph, r *query.Rule, tr *tracker, out map[string][]int32) error {
+	// Materialize each conjunct's relation, with a reverse index for
+	// bound-target lookups.
+	type crel struct {
+		c    query.Conjunct
+		fwd  *Rel
+		bwd  *Rel
+		used bool
+	}
+	crels := make([]*crel, len(r.Body))
+	for i, c := range r.Body {
+		ce, err := compileExpr(g, c.Expr)
+		if err != nil {
+			return err
+		}
+		fwd, err := evalCompiled(g, ce, tr)
+		if err != nil {
+			return err
+		}
+		bwd, err := evalCompiled(g, ce.reverse(), tr)
+		if err != nil {
+			return err
+		}
+		crels[i] = &crel{c: c, fwd: fwd, bwd: bwd}
+	}
+
+	binding := make(map[query.Var]int32)
+	headKey := make([]int32, len(r.Head))
+
+	var emit func() error
+	emit = func() error {
+		for i, v := range r.Head {
+			headKey[i] = binding[v]
+		}
+		key := packTuple(headKey)
+		if _, dup := out[key]; !dup {
+			out[key] = append([]int32(nil), headKey...)
+			if err := tr.charge(int64(len(headKey)) + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var solve func() error
+	solve = func() error {
+		// Pick the most constrained unused conjunct.
+		var pick *crel
+		bestScore := -1
+		for _, cr := range crels {
+			if cr.used {
+				continue
+			}
+			score := 0
+			if _, ok := binding[cr.c.Src]; ok {
+				score += 2
+			}
+			if _, ok := binding[cr.c.Dst]; ok {
+				score += 2
+			}
+			if score > bestScore {
+				bestScore = score
+				pick = cr
+			}
+		}
+		if pick == nil {
+			return emit()
+		}
+		pick.used = true
+		defer func() { pick.used = false }()
+
+		src, srcBound := binding[pick.c.Src]
+		dst, dstBound := binding[pick.c.Dst]
+		sameVar := pick.c.Src == pick.c.Dst
+		switch {
+		case srcBound && dstBound:
+			if containsSorted(pick.fwd.Rows[src], dst) {
+				return solve()
+			}
+			return nil
+		case srcBound:
+			for _, w := range pick.fwd.Rows[src] {
+				if sameVar && w != src {
+					continue
+				}
+				binding[pick.c.Dst] = w
+				if err := solve(); err != nil {
+					return err
+				}
+			}
+			if !sameVar {
+				delete(binding, pick.c.Dst)
+			}
+			return nil
+		case dstBound:
+			for _, w := range pick.bwd.Rows[dst] {
+				if sameVar && w != dst {
+					continue
+				}
+				binding[pick.c.Src] = w
+				if err := solve(); err != nil {
+					return err
+				}
+			}
+			if !sameVar {
+				delete(binding, pick.c.Src)
+			}
+			return nil
+		default:
+			for v, row := range pick.fwd.Rows {
+				if err := tr.checkTime(); err != nil {
+					return err
+				}
+				binding[pick.c.Src] = v
+				for _, w := range row {
+					if sameVar && w != v {
+						continue
+					}
+					binding[pick.c.Dst] = w
+					if err := solve(); err != nil {
+						return err
+					}
+				}
+			}
+			delete(binding, pick.c.Src)
+			if !sameVar {
+				delete(binding, pick.c.Dst)
+			}
+			return nil
+		}
+	}
+	return solve()
+}
+
+func containsSorted(row []int32, v int32) bool {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
+
+// packTuple encodes a tuple as a map key.
+func packTuple(t []int32) string {
+	b := make([]byte, 4*len(t))
+	for i, v := range t {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}

@@ -1,0 +1,325 @@
+// Package eval implements the reference UCRPQ evaluator used to
+// measure actual query selectivities (paper, Sections 6.2 and 7.1).
+//
+// The evaluator supports the full query language of Section 3.3 —
+// unions of conjunctive regular path queries with inverses and
+// outermost Kleene stars — under the standard set-oriented
+// (duplicate-eliminating, homomorphic) semantics. Chain-shaped rules
+// are evaluated by a streaming per-source frontier algorithm that never
+// materializes intermediate binary relations; other shapes fall back to
+// a join-based evaluator.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gmark/internal/bitset"
+	"gmark/internal/graph"
+	"gmark/internal/regpath"
+)
+
+// ErrBudget is returned when an evaluation exceeds its budget; the
+// experiment harness records it as a failed run, mirroring the
+// timeouts/failures of the paper's Section 7.
+var ErrBudget = errors.New("eval: budget exceeded")
+
+// Budget bounds an evaluation. The zero value means unlimited.
+type Budget struct {
+	// MaxPairs bounds the number of materialized tuples (intermediate
+	// plus final).
+	MaxPairs int64
+	// Timeout bounds wall-clock time.
+	Timeout time.Duration
+}
+
+// tracker carries budget state through an evaluation.
+type tracker struct {
+	pairs    int64
+	maxPairs int64
+	deadline time.Time
+}
+
+func newTracker(b Budget) *tracker {
+	t := &tracker{maxPairs: b.MaxPairs}
+	if b.Timeout > 0 {
+		t.deadline = time.Now().Add(b.Timeout)
+	}
+	return t
+}
+
+// charge accounts n materialized tuples and checks both limits.
+func (t *tracker) charge(n int64) error {
+	if t == nil {
+		return nil
+	}
+	t.pairs += n
+	if t.maxPairs > 0 && t.pairs > t.maxPairs {
+		return fmt.Errorf("%w: more than %d tuples", ErrBudget, t.maxPairs)
+	}
+	if !t.deadline.IsZero() && t.pairs%1024 == 0 && time.Now().After(t.deadline) {
+		return fmt.Errorf("%w: timeout", ErrBudget)
+	}
+	return nil
+}
+
+func (t *tracker) checkTime() error {
+	if t == nil || t.deadline.IsZero() {
+		return nil
+	}
+	if time.Now().After(t.deadline) {
+		return fmt.Errorf("%w: timeout", ErrBudget)
+	}
+	return nil
+}
+
+// symbolID packs a predicate id and direction.
+type symbolID struct {
+	pred graph.PredID
+	inv  bool
+}
+
+// resolveSymbol maps a regpath symbol to graph ids.
+func resolveSymbol(g *graph.Graph, s regpath.Symbol) (symbolID, error) {
+	p := g.PredIndex(s.Pred)
+	if p < 0 {
+		return symbolID{}, fmt.Errorf("eval: unknown predicate %q", s.Pred)
+	}
+	return symbolID{pred: p, inv: s.Inverse}, nil
+}
+
+// stepSet computes the image of the node set src under one symbol,
+// adding results to dst (dst may equal a scratch set).
+func stepSet(g *graph.Graph, src *bitset.Set, sym symbolID, dst *bitset.Set) {
+	src.Range(func(v int32) bool {
+		for _, w := range g.Neighbors(v, sym.pred, sym.inv) {
+			dst.Add(w)
+		}
+		return true
+	})
+}
+
+// exprImage computes the image of set src under expression e,
+// replacing dst's contents. scratchA/B are reusable sets of graph
+// capacity.
+func exprImage(g *graph.Graph, e compiledExpr, src, dst, scratchA, scratchB *bitset.Set, tr *tracker) error {
+	dst.Clear()
+	if !e.star {
+		return altImage(g, e.paths, src, dst, scratchA, scratchB)
+	}
+	// Kleene star: BFS over the alternation relation; the zero-length
+	// path contributes the sources inside the star's active domain.
+	dst.UnionWith(src)
+	if e.epsMask != nil {
+		dst.IntersectWith(e.epsMask)
+	}
+	frontier := src.Clone()
+	next := bitset.New(src.Cap())
+	for !frontier.Empty() {
+		if err := tr.checkTime(); err != nil {
+			return err
+		}
+		next.Clear()
+		if err := altImage(g, e.paths, frontier, next, scratchA, scratchB); err != nil {
+			return err
+		}
+		next.DiffWith(dst)
+		if next.Empty() {
+			break
+		}
+		dst.UnionWith(next)
+		frontier.CopyFrom(next)
+	}
+	return nil
+}
+
+// altImage adds the image of src under the alternation of paths into
+// dst (without clearing dst).
+func altImage(g *graph.Graph, paths [][]symbolID, src, dst, scratchA, scratchB *bitset.Set) error {
+	for _, path := range paths {
+		if len(path) == 0 {
+			// Epsilon disjunct.
+			dst.UnionWith(src)
+			continue
+		}
+		cur, nxt := scratchA, scratchB
+		cur.CopyFrom(src)
+		for i, sym := range path {
+			nxt.Clear()
+			stepSet(g, cur, sym, nxt)
+			if i == len(path)-1 {
+				dst.UnionWith(nxt)
+			} else {
+				cur, nxt = nxt, cur
+			}
+		}
+	}
+	return nil
+}
+
+// compiledExpr is a path expression with resolved predicate ids.
+type compiledExpr struct {
+	paths [][]symbolID
+	star  bool
+	// epsMask restricts zero-length star matches to nodes incident to
+	// at least one edge labeled with a predicate of the expression (the
+	// active domain of the star); nil when star is false.
+	epsMask *bitset.Set
+}
+
+func compileExpr(g *graph.Graph, e regpath.Expr) (compiledExpr, error) {
+	if err := e.Validate(); err != nil {
+		return compiledExpr{}, err
+	}
+	ce := compiledExpr{star: e.Star, paths: make([][]symbolID, len(e.Paths))}
+	for i, p := range e.Paths {
+		ce.paths[i] = make([]symbolID, len(p))
+		for j, s := range p {
+			sym, err := resolveSymbol(g, s)
+			if err != nil {
+				return compiledExpr{}, err
+			}
+			ce.paths[i][j] = sym
+		}
+	}
+	if ce.star {
+		firsts, lasts := boundarySymbols(ce.paths)
+		ce.epsMask = StarDomain(g, firsts, lasts)
+	}
+	return ce, nil
+}
+
+// boundarySymbols collects the first and last symbols of the non-empty
+// disjuncts, as (pred, inverse) pairs.
+func boundarySymbols(paths [][]symbolID) (firsts, lasts []BoundarySym) {
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		firsts = append(firsts, BoundarySym{Pred: p[0].pred, Inv: p[0].inv})
+		lasts = append(lasts, BoundarySym{Pred: p[len(p)-1].pred, Inv: p[len(p)-1].inv})
+	}
+	return firsts, lasts
+}
+
+// BoundarySym is a (predicate, direction) pair at a disjunct boundary.
+type BoundarySym struct {
+	Pred graph.PredID
+	Inv  bool
+}
+
+// StarDomain returns the set of nodes over which a Kleene star matches
+// the zero-length path: nodes that can start some disjunct (have an
+// outgoing first-symbol edge) or end one (have an incoming last-symbol
+// edge). This matches the type-level rule of the selectivity
+// estimator, and all evaluators and engines share it so recursive
+// query counts agree.
+func StarDomain(g *graph.Graph, firsts, lasts []BoundarySym) *bitset.Set {
+	mask := bitset.New(g.NumNodes())
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		for _, s := range firsts {
+			if len(g.Neighbors(v, s.Pred, s.Inv)) > 0 {
+				mask.Add(v)
+				break
+			}
+		}
+		if mask.Has(v) {
+			continue
+		}
+		for _, s := range lasts {
+			// An incoming s-edge at v is an outgoing edge of the
+			// inverted symbol.
+			if len(g.Neighbors(v, s.Pred, !s.Inv)) > 0 {
+				mask.Add(v)
+				break
+			}
+		}
+	}
+	return mask
+}
+
+// reverse returns the compiled expression of the inverse relation.
+func (e compiledExpr) reverse() compiledExpr {
+	r := compiledExpr{star: e.star, paths: make([][]symbolID, len(e.paths))}
+	for i, p := range e.paths {
+		rp := make([]symbolID, len(p))
+		for j, s := range p {
+			rp[len(p)-1-j] = symbolID{pred: s.pred, inv: !s.inv}
+		}
+		r.paths[i] = rp
+	}
+	return r
+}
+
+// Rel is a materialized binary relation with sorted, deduplicated
+// rows; used by the join-based fallback evaluator.
+type Rel struct {
+	N    int
+	Rows map[int32][]int32
+}
+
+// Pairs returns the number of tuples.
+func (r *Rel) Pairs() int64 {
+	var n int64
+	for _, row := range r.Rows {
+		n += int64(len(row))
+	}
+	return n
+}
+
+// EvalExpr materializes the relation denoted by expression e on g.
+// For starred expressions the relation includes the identity on all
+// nodes (zero-length paths).
+func EvalExpr(g *graph.Graph, e regpath.Expr, b Budget) (*Rel, error) {
+	ce, err := compileExpr(g, e)
+	if err != nil {
+		return nil, err
+	}
+	return evalCompiled(g, ce, newTracker(b))
+}
+
+func evalCompiled(g *graph.Graph, ce compiledExpr, tr *tracker) (*Rel, error) {
+	n := g.NumNodes()
+	rel := &Rel{N: n, Rows: make(map[int32][]int32)}
+	src := bitset.New(n)
+	dst := bitset.New(n)
+	sa, sb := bitset.New(n), bitset.New(n)
+
+	// Restrict sources to nodes that can possibly start a path; for
+	// starred expressions every node relates to itself, so all nodes
+	// are sources.
+	for v := int32(0); v < int32(n); v++ {
+		if !ce.star && !canStart(g, ce, v) {
+			continue
+		}
+		src.Clear()
+		src.Add(v)
+		if err := exprImage(g, ce, src, dst, sa, sb, tr); err != nil {
+			return nil, err
+		}
+		if dst.Empty() {
+			continue
+		}
+		row := dst.AppendTo(make([]int32, 0, dst.Count()))
+		if err := tr.charge(int64(len(row))); err != nil {
+			return nil, err
+		}
+		rel.Rows[v] = row
+	}
+	return rel, nil
+}
+
+// canStart reports whether node v has at least one edge matching the
+// first symbol of some disjunct (epsilon disjuncts always match).
+func canStart(g *graph.Graph, ce compiledExpr, v int32) bool {
+	for _, p := range ce.paths {
+		if len(p) == 0 {
+			return true
+		}
+		if len(g.Neighbors(v, p[0].pred, p[0].inv)) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny builds a 2-type, 2-predicate graph:
+//
+//	a-edges: 0->2, 0->3, 1->2
+//	b-edges: 2->0, 3->3
+func tiny(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New([]string{"u", "v"}, []int{2, 3}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 0, 2)
+	g.AddEdge(0, 0, 3)
+	g.AddEdge(1, 0, 2)
+	g.AddEdge(2, 1, 0)
+	g.AddEdge(3, 1, 3)
+	g.Freeze()
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a"}, []int{1, 2}, nil); err == nil {
+		t.Error("mismatched counts should fail")
+	}
+	if _, err := New([]string{"a"}, []int{-1}, nil); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := tiny(t)
+	if g.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.NumTypes() != 2 || g.NumPredicates() != 2 {
+		t.Errorf("types/preds = %d/%d", g.NumTypes(), g.NumPredicates())
+	}
+	if g.TypeCount(0) != 2 || g.TypeCount(1) != 3 {
+		t.Errorf("type counts = %d/%d", g.TypeCount(0), g.TypeCount(1))
+	}
+	if g.PredEdgeCount(0) != 3 || g.PredEdgeCount(1) != 2 {
+		t.Errorf("pred counts = %d/%d", g.PredEdgeCount(0), g.PredEdgeCount(1))
+	}
+}
+
+func TestTypeLayout(t *testing.T) {
+	g := tiny(t)
+	lo, hi := g.TypeRange(1)
+	if lo != 2 || hi != 5 {
+		t.Errorf("TypeRange(1) = [%d,%d)", lo, hi)
+	}
+	if got := g.NodeOfType(1, 0); got != 2 {
+		t.Errorf("NodeOfType(1,0) = %d", got)
+	}
+	if got := g.NodeOfType(0, 1); got != 1 {
+		t.Errorf("NodeOfType(0,1) = %d", got)
+	}
+	for v, want := range map[NodeID]int{0: 0, 1: 0, 2: 1, 4: 1} {
+		if got := g.TypeOf(v); got != want {
+			t.Errorf("TypeOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if g.TypeName(0) != "u" || g.PredName(1) != "b" {
+		t.Error("name lookups broken")
+	}
+	if g.TypeIndex("v") != 1 || g.TypeIndex("zzz") != -1 {
+		t.Error("TypeIndex broken")
+	}
+	if g.PredIndex("b") != 1 || g.PredIndex("zzz") != -1 {
+		t.Error("PredIndex broken")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := tiny(t)
+	if got := g.Out(0, 0); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Out(0,a) = %v", got)
+	}
+	if got := g.In(2, 0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("In(2,a) = %v", got)
+	}
+	if got := g.Out(0, 1); len(got) != 0 {
+		t.Errorf("Out(0,b) = %v", got)
+	}
+	if got := g.Neighbors(2, 0, true); len(got) != 2 {
+		t.Errorf("Neighbors(2,a,inv) = %v", got)
+	}
+	if g.OutDegree(0, 0) != 2 || g.InDegree(3, 0) != 1 {
+		t.Error("degree lookups broken")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := tiny(t)
+	if !g.HasEdge(0, 0, 3) {
+		t.Error("edge (0,a,3) should exist")
+	}
+	if g.HasEdge(0, 0, 4) {
+		t.Error("edge (0,a,4) should not exist")
+	}
+	if g.HasEdge(0, 1, 3) {
+		t.Error("edge (0,b,3) should not exist")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := tiny(t)
+	var got []Edge
+	g.Edges(func(e Edge) { got = append(got, e) })
+	if len(got) != 5 {
+		t.Fatalf("Edges visited %d edges", len(got))
+	}
+	// Grouped by predicate, then by source.
+	want := []Edge{{0, 0, 2}, {0, 0, 3}, {1, 0, 2}, {2, 1, 0}, {3, 1, 3}}
+	for i, e := range want {
+		if got[i] != e {
+			t.Errorf("edge %d = %+v, want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := tiny(t)
+	s := g.OutDegreeStats(0, 0) // type u, predicate a
+	if s.Count != 2 || s.EdgeSum != 3 || s.Max != 2 || s.NonZero != 2 {
+		t.Errorf("out stats = %+v", s)
+	}
+	if s.Mean != 1.5 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	in := g.InDegreeStats(1, 0) // type v, predicate a
+	if in.Count != 3 || in.EdgeSum != 3 || in.Max != 2 {
+		t.Errorf("in stats = %+v", in)
+	}
+}
+
+func TestFreezeGuards(t *testing.T) {
+	g, _ := New([]string{"t"}, []int{2}, []string{"p"})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Out before Freeze should panic")
+			}
+		}()
+		g.Out(0, 0)
+	}()
+	g.Freeze()
+	g.Freeze() // idempotent
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddEdge after Freeze should panic")
+			}
+		}()
+		g.AddEdge(0, 0, 1)
+	}()
+}
+
+func TestWriteNTriples(t *testing.T) {
+	g := tiny(t)
+	var buf bytes.Buffer
+	if err := g.WriteNTriples(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 triples, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "<http://gmark.example.org/node/u/0>") ||
+		!strings.Contains(lines[0], "pred/a") {
+		t.Errorf("first triple = %q", lines[0])
+	}
+	for _, l := range lines {
+		if !strings.HasSuffix(l, " .") {
+			t.Errorf("triple not terminated: %q", l)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := tiny(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	var e1, e2 []Edge
+	g.Edges(func(e Edge) { e1 = append(e1, e) })
+	g2.Edges(func(e Edge) { e2 = append(e2, e) })
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	for tIdx := 0; tIdx < g.NumTypes(); tIdx++ {
+		if g.TypeName(tIdx) != g2.TypeName(tIdx) || g.TypeCount(tIdx) != g2.TypeCount(tIdx) {
+			t.Errorf("type %d mismatch", tIdx)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // empty
+		"0 a 1\n",                              // edge before header
+		"# types u:x\n",                        // bad count
+		"# types u\n",                          // missing colon
+		"# types u:2\n# predicates a\n0 a\n",   // short edge line
+		"# types u:2\n# predicates a\n0 q 1\n", // unknown predicate
+		"# types u:2\n# predicates a\n0 a 9\n", // node out of range
+		"# types u:2\n# predicates a\nx a 1\n", // bad source
+		"# types u:2\n# predicates a\n0 a x\n", // bad target
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadEdgeListEmptyGraph(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# types u:3\n# predicates a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}

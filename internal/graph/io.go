@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteNTriples writes the graph in N-Triples form, the data output
+// format mentioned in the paper's design principles (Section 1.1).
+// Nodes are rendered as IRIs embedding their type name and per-type
+// index; predicates as IRIs of their label.
+func (g *Graph) WriteNTriples(w io.Writer, base string) error {
+	if base == "" {
+		base = "http://gmark.example.org/"
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var err error
+	g.Edges(func(e Edge) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "<%snode/%s/%d> <%spred/%s> <%snode/%s/%d> .\n",
+			base, g.typeNames[g.TypeOf(e.Src)], e.Src,
+			base, g.predNames[e.Pred],
+			base, g.typeNames[g.TypeOf(e.Dst)], e.Dst)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeList writes the compact whitespace-separated edge list
+// format "src pred dst" used by the open-source gMark tool, preceded by
+// a header describing the node layout.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "# gmark graph nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(bw, "# types")
+	for t := range g.typeNames {
+		fmt.Fprintf(bw, " %s:%d", g.typeNames[t], g.TypeCount(t))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "# predicates %s\n", strings.Join(g.predNames, " "))
+	var err error
+	g.Edges(func(e Edge) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d %s %d\n", e.Src, g.predNames[e.Pred], e.Dst)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var g *Graph
+	var typeNames []string
+	var typeCounts []int
+	var predNames []string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "types":
+				for _, f := range fields[1:] {
+					name, countStr, ok := strings.Cut(f, ":")
+					if !ok {
+						return nil, fmt.Errorf("graph: line %d: bad type entry %q", line, f)
+					}
+					c, err := strconv.Atoi(countStr)
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad type count %q", line, countStr)
+					}
+					typeNames = append(typeNames, name)
+					typeCounts = append(typeCounts, c)
+				}
+			case "predicates":
+				predNames = append(predNames, fields[1:]...)
+			}
+			continue
+		}
+		if g == nil {
+			if typeNames == nil || predNames == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			var err error
+			g, err = New(typeNames, typeCounts, predNames)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 'src pred dst', got %q", line, text)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", line, fields[0])
+		}
+		dst, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q", line, fields[2])
+		}
+		p := g.PredIndex(fields[1])
+		if p < 0 {
+			return nil, fmt.Errorf("graph: line %d: unknown predicate %q", line, fields[1])
+		}
+		if src < 0 || src >= g.NumNodes() || dst < 0 || dst >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: line %d: node id out of range", line)
+		}
+		g.AddEdge(int32(src), p, int32(dst))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		if typeNames == nil || predNames == nil {
+			return nil, fmt.Errorf("graph: empty input")
+		}
+		var err error
+		g, err = New(typeNames, typeCounts, predNames)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.Freeze()
+	return g, nil
+}

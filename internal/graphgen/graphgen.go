@@ -1,0 +1,169 @@
+// Package graphgen implements gMark's linear-time graph generation
+// algorithm (paper, Fig. 5 and Section 4).
+//
+// For each edge constraint eta(T1, T2, a) = (Din, Dout), the algorithm
+// draws a source-occurrence vector from Dout and a target-occurrence
+// vector from Din, shuffles both, and pairs them to produce
+// min(|vsrc|, |vtrg|) a-labeled edges. The heuristic never backtracks:
+// when the two vectors disagree in length the surplus occurrences are
+// dropped, which preserves the distribution *types* even if the exact
+// parameters cannot all be honored (the generation problem is
+// NP-complete, Theorem 3.6).
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmark/internal/dist"
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+// Options controls generation.
+type Options struct {
+	// Seed makes generation deterministic. Two runs with equal
+	// configuration and seed produce identical graphs.
+	Seed int64
+
+	// NaiveShuffle disables the paired-shuffle optimization and follows
+	// Fig. 5 literally (materialize both vectors, full Fisher-Yates on
+	// each). Used by the ablation benchmark; the two modes produce
+	// graphs from the same distribution.
+	NaiveShuffle bool
+}
+
+// Generate produces a graph instance satisfying (heuristically) the
+// given configuration.
+func Generate(cfg *schema.GraphConfig, opt Options) (*graph.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &cfg.Schema
+
+	typeNames := make([]string, len(s.Types))
+	typeCounts := make([]int, len(s.Types))
+	for i, t := range s.Types {
+		typeNames[i] = t.Name
+		typeCounts[i] = t.Occurrence.Count(cfg.Nodes)
+	}
+	predNames := make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		predNames[i] = p.Name
+	}
+	g, err := graph.New(typeNames, typeCounts, predNames)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, c := range s.Constraints {
+		if err := generateConstraint(g, s, c, rng, opt); err != nil {
+			return nil, fmt.Errorf("graphgen: eta(%s,%s,%s): %w", c.Source, c.Target, c.Predicate, err)
+		}
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// generateConstraint emits the edges of a single eta entry.
+func generateConstraint(g *graph.Graph, s *schema.Schema, c schema.EdgeConstraint, rng *rand.Rand, opt Options) error {
+	srcType := s.TypeIndex(c.Source)
+	trgType := s.TypeIndex(c.Target)
+	pred := graph.PredID(s.PredicateIndex(c.Predicate))
+	nSrc := g.TypeCount(srcType)
+	nTrg := g.TypeCount(trgType)
+	if nSrc == 0 || nTrg == 0 {
+		return nil
+	}
+
+	vsrc, err := occurrenceVector(c.Out, nSrc, rng)
+	if err != nil {
+		return fmt.Errorf("out-distribution: %w", err)
+	}
+	vtrg, err := occurrenceVector(c.In, nTrg, rng)
+	if err != nil {
+		return fmt.Errorf("in-distribution: %w", err)
+	}
+
+	switch {
+	case vsrc == nil && vtrg == nil:
+		// Validate() rejects this, but guard anyway.
+		return fmt.Errorf("both distributions non-specified")
+	case vsrc == nil:
+		// Out-distribution non-specified: each incoming occurrence is
+		// paired with a uniformly random source node.
+		for _, j := range vtrg {
+			src := g.NodeOfType(srcType, rng.Intn(nSrc))
+			g.AddEdge(src, pred, g.NodeOfType(trgType, int(j)))
+		}
+		return nil
+	case vtrg == nil:
+		// In-distribution non-specified: uniform random targets.
+		for _, j := range vsrc {
+			dst := g.NodeOfType(trgType, rng.Intn(nTrg))
+			g.AddEdge(g.NodeOfType(srcType, int(j)), pred, dst)
+		}
+		return nil
+	}
+
+	m := len(vsrc)
+	if len(vtrg) < m {
+		m = len(vtrg)
+	}
+	if opt.NaiveShuffle {
+		// Fig. 5 verbatim: shuffle both vectors entirely, pair the
+		// prefix of the shorter length.
+		rng.Shuffle(len(vsrc), func(i, j int) { vsrc[i], vsrc[j] = vsrc[j], vsrc[i] })
+		rng.Shuffle(len(vtrg), func(i, j int) { vtrg[i], vtrg[j] = vtrg[j], vtrg[i] })
+	} else {
+		// Optimization (Section 4): pairing shuffle(vsrc) with
+		// shuffle(vtrg) truncated to m is distribution-equivalent to
+		// keeping the shorter vector in place and drawing a random
+		// m-subset of the longer one in random order (partial
+		// Fisher-Yates, m swaps instead of |vsrc|+|vtrg|).
+		longer := vsrc
+		if len(vtrg) > len(vsrc) {
+			longer = vtrg
+		}
+		partialShuffle(longer, m, rng)
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(g.NodeOfType(srcType, int(vsrc[i])), pred, g.NodeOfType(trgType, int(vtrg[i])))
+	}
+	return nil
+}
+
+// occurrenceVector draws the per-node degree occurrences of one side:
+// node j (0-based within its type) appears draw(D) times. A
+// non-specified distribution returns a nil vector.
+func occurrenceVector(d dist.Distribution, n int, rng *rand.Rand) ([]int32, error) {
+	if !d.Specified() {
+		return nil, nil
+	}
+	sampler, err := d.NewSampler()
+	if err != nil {
+		return nil, err
+	}
+	// Pre-size using the expected total to avoid repeated growth.
+	expected := int(d.Mean()*float64(n)) + n/8 + 16
+	v := make([]int32, 0, expected)
+	for j := 0; j < n; j++ {
+		k := sampler.Sample(rng)
+		for i := 0; i < k; i++ {
+			v = append(v, int32(j))
+		}
+	}
+	return v, nil
+}
+
+// partialShuffle performs the first m steps of a Fisher-Yates shuffle,
+// leaving a uniform random m-subset of v in uniform random order at
+// v[:m].
+func partialShuffle(v []int32, m int, rng *rand.Rand) {
+	n := len(v)
+	for i := 0; i < m && i < n-1; i++ {
+		j := i + rng.Intn(n-i)
+		v[i], v[j] = v[j], v[i]
+	}
+}

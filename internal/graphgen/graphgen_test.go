@@ -1,0 +1,304 @@
+package graphgen
+
+import (
+	"math"
+	"testing"
+
+	"gmark/internal/dist"
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+func twoTypeConfig(n int, in, out dist.Distribution) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "src", Occurrence: schema.Proportion(0.5)},
+				{Name: "trg", Occurrence: schema.Proportion(0.5)},
+			},
+			Predicates: []schema.Predicate{{Name: "p", Occurrence: schema.Proportion(1)}},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "src", Target: "trg", Predicate: "p", In: in, Out: out},
+			},
+		},
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	cfg := twoTypeConfig(0, dist.NewUniform(1, 1), dist.NewUniform(1, 1))
+	if _, err := Generate(cfg, Options{}); err == nil {
+		t.Fatal("zero-node config should fail")
+	}
+}
+
+func TestNodeCountsHonored(t *testing.T) {
+	cfg := &schema.GraphConfig{
+		Nodes: 1000,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "a", Occurrence: schema.Proportion(0.6)},
+				{Name: "b", Occurrence: schema.Proportion(0.2)},
+				{Name: "c", Occurrence: schema.Fixed(37)},
+			},
+			Predicates: []schema.Predicate{{Name: "p", Occurrence: schema.Proportion(1)}},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "a", Target: "b", Predicate: "p",
+					In: dist.Unspecified(), Out: dist.NewUniform(1, 1)},
+			},
+		},
+	}
+	g, err := Generate(cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TypeCount(0); got != 600 {
+		t.Errorf("type a count = %d, want 600", got)
+	}
+	if got := g.TypeCount(1); got != 200 {
+		t.Errorf("type b count = %d, want 200", got)
+	}
+	if got := g.TypeCount(2); got != 37 {
+		t.Errorf("type c count = %d, want 37", got)
+	}
+	if g.NumNodes() != 837 {
+		t.Errorf("total nodes = %d", g.NumNodes())
+	}
+}
+
+func TestExactlyOneOutDegree(t *testing.T) {
+	// The "1" macro: every source node has exactly one outgoing edge.
+	in, out := schema.ExactlyOne()
+	cfg := twoTypeConfig(1000, in, out)
+	g, err := Generate(cfg, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.OutDegreeStats(0, 0)
+	if stats.EdgeSum != 500 {
+		t.Errorf("edges = %d, want 500", stats.EdgeSum)
+	}
+	for j, d := range stats.Degrees {
+		if d != 1 {
+			t.Fatalf("node %d out-degree = %d, want 1", j, d)
+		}
+	}
+}
+
+func TestForbiddenProducesNoEdges(t *testing.T) {
+	in, out := schema.Forbidden()
+	cfg := twoTypeConfig(500, in, out)
+	g, err := Generate(cfg, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("forbidden constraint generated %d edges", g.NumEdges())
+	}
+}
+
+func TestOptionalOutDegree(t *testing.T) {
+	in, out := schema.Optional()
+	cfg := twoTypeConfig(2000, in, out)
+	g, err := Generate(cfg, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.OutDegreeStats(0, 0)
+	if stats.Max > 1 {
+		t.Errorf("optional out-degree max = %d", stats.Max)
+	}
+	// Expect roughly half the sources to emit an edge.
+	frac := float64(stats.NonZero) / float64(stats.Count)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("optional edge fraction = %g", frac)
+	}
+}
+
+func TestEdgeEndpointTypes(t *testing.T) {
+	cfg := twoTypeConfig(600, dist.NewGaussian(2, 1), dist.NewGaussian(2, 1))
+	g, err := Generate(cfg, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(e graph.Edge) {
+		if g.TypeOf(e.Src) != 0 {
+			t.Fatalf("edge source %d has type %d", e.Src, g.TypeOf(e.Src))
+		}
+		if g.TypeOf(e.Dst) != 1 {
+			t.Fatalf("edge target %d has type %d", e.Dst, g.TypeOf(e.Dst))
+		}
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := twoTypeConfig(800, dist.NewZipfian(1.5), dist.NewGaussian(3, 1))
+	g1, err := Generate(cfg, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(cfg, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	var e1, e2 []graph.Edge
+	g1.Edges(func(e graph.Edge) { e1 = append(e1, e) })
+	g2.Edges(func(e graph.Edge) { e2 = append(e2, e) })
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	g3, err := Generate(cfg, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g1.NumEdges() == g3.NumEdges()
+	if same {
+		var e3 []graph.Edge
+		g3.Edges(func(e graph.Edge) { e3 = append(e3, e) })
+		identical := true
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGaussianDegreeShape(t *testing.T) {
+	cfg := twoTypeConfig(4000, dist.Unspecified(), dist.NewGaussian(4, 1))
+	g, err := Generate(cfg, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.OutDegreeStats(0, 0)
+	if math.Abs(stats.Mean-4) > 0.3 {
+		t.Errorf("gaussian(4,1) out-degree mean = %g", stats.Mean)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	cfg := twoTypeConfig(4000, dist.Unspecified(), dist.NewZipfian(1.6))
+	g, err := Generate(cfg, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.OutDegreeStats(0, 0)
+	// Heavy tail: the max degree should far exceed the mean.
+	if float64(stats.Max) < 5*stats.Mean {
+		t.Errorf("zipfian max %d vs mean %g: not heavy-tailed", stats.Max, stats.Mean)
+	}
+}
+
+// TestTrimmingToMinSide checks the min(|vsrc|,|vtrg|) rule: with a
+// deliberately inconsistent pair (out expects 4x more edges than in),
+// the generated edge count follows the smaller side.
+func TestTrimmingToMinSide(t *testing.T) {
+	cfg := twoTypeConfig(2000, dist.NewUniform(1, 1), dist.NewUniform(4, 4))
+	g, err := Generate(cfg, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// in side: 1000 targets x 1 = 1000 occurrences; out side: 1000 x 4.
+	if g.NumEdges() != 1000 {
+		t.Errorf("edges = %d, want 1000 (the min side)", g.NumEdges())
+	}
+	// Every target should still have in-degree exactly 1 (the shorter,
+	// untrimmed side).
+	in := g.InDegreeStats(1, 0)
+	if in.Max != 1 || in.EdgeSum != 1000 {
+		t.Errorf("in side stats: %+v", in)
+	}
+}
+
+// TestNaiveShuffleEquivalentStats checks the ablation path: the
+// Fig. 5-literal shuffle and the optimized partial shuffle produce
+// graphs with identical edge counts and statistically matching degree
+// distributions.
+func TestNaiveShuffleEquivalentStats(t *testing.T) {
+	cfg := twoTypeConfig(3000, dist.NewGaussian(3, 1), dist.NewGaussian(3, 1))
+	fast, err := Generate(cfg, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Generate(cfg, Options{Seed: 9, NaiveShuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(fast.NumEdges()-naive.NumEdges())) > 0.05*float64(fast.NumEdges()) {
+		t.Errorf("edge counts diverge: %d vs %d", fast.NumEdges(), naive.NumEdges())
+	}
+	fs := fast.OutDegreeStats(0, 0)
+	ns := naive.OutDegreeStats(0, 0)
+	if math.Abs(fs.Mean-ns.Mean) > 0.2 {
+		t.Errorf("mean out-degree diverges: %g vs %g", fs.Mean, ns.Mean)
+	}
+}
+
+func TestNonSpecifiedInUniformTargets(t *testing.T) {
+	cfg := twoTypeConfig(2000, dist.Unspecified(), dist.NewUniform(2, 2))
+	g, err := Generate(cfg, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2000 {
+		t.Fatalf("edges = %d, want 2000", g.NumEdges())
+	}
+	in := g.InDegreeStats(1, 0)
+	// Uniformly random targets: mean 2, max should stay small.
+	if math.Abs(in.Mean-2) > 0.01 {
+		t.Errorf("in mean = %g", in.Mean)
+	}
+	if in.Max > 12 {
+		t.Errorf("uniform targets produced a hub of degree %d", in.Max)
+	}
+}
+
+func TestNonSpecifiedOutUniformSources(t *testing.T) {
+	cfg := twoTypeConfig(2000, dist.NewUniform(3, 3), dist.Unspecified())
+	g, err := Generate(cfg, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3000 {
+		t.Fatalf("edges = %d, want 3000", g.NumEdges())
+	}
+	in := g.InDegreeStats(1, 0)
+	if in.Max != 3 {
+		t.Errorf("every target should have in-degree 3, max=%d", in.Max)
+	}
+}
+
+func TestSelfLoopConstraint(t *testing.T) {
+	cfg := &schema.GraphConfig{
+		Nodes: 500,
+		Schema: schema.Schema{
+			Types:      []schema.NodeType{{Name: "user", Occurrence: schema.Proportion(1)}},
+			Predicates: []schema.Predicate{{Name: "knows", Occurrence: schema.Proportion(1)}},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "user", Target: "user", Predicate: "knows",
+					In: dist.NewZipfian(2), Out: dist.NewZipfian(2)},
+			},
+		},
+	}
+	g, err := Generate(cfg, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	g.Edges(func(e graph.Edge) {
+		if g.TypeOf(e.Src) != 0 || g.TypeOf(e.Dst) != 0 {
+			t.Fatal("self-type constraint produced out-of-type edge")
+		}
+	})
+}

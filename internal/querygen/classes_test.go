@@ -1,0 +1,126 @@
+package querygen_test
+
+import (
+	"testing"
+
+	"gmark/internal/eval"
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/querygen"
+	"gmark/internal/stats"
+	"gmark/internal/usecases"
+)
+
+// TestEstimatorAgreesAcrossUseCases: for every use case, the estimator
+// applied to the generator's own non-recursive output must return the
+// declared class — generation and estimation share one algebra.
+func TestEstimatorAgreesAcrossUseCases(t *testing.T) {
+	for _, name := range usecases.Names {
+		gcfg, err := usecases.ByName(name, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcfg, err := usecases.Workload("con", gcfg, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := querygen.New(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := gen.Estimator()
+		for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+			for i := 0; i < 5; i++ {
+				q, err := gen.GenerateWithClass(class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !q.HasClass || q.HasRecursion() {
+					continue
+				}
+				got, ok, err := est.EstimateClass(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Errorf("%s: estimator rejects its own query:\n%s", name, q)
+					continue
+				}
+				if got != class {
+					t.Errorf("%s: declared %v, estimator says %v:\n%s", name, class, got, q)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasuredAlphaOrdering is the end-to-end quality property on a
+// single scenario: across generated instances, the measured alpha of
+// quadratic queries exceeds linear, which exceeds constant.
+func TestMeasuredAlphaOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sizes := []int{500, 1000, 2000, 4000}
+	graphs := make(map[int]*graph.Graph, len(sizes))
+	for _, n := range sizes {
+		cfg, err := usecases.ByName("wd", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[n] = g
+	}
+	gcfg, _ := usecases.ByName("wd", sizes[0])
+	wcfg, err := usecases.Workload("con", gcfg, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := querygen.New(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaOf := func(class query.SelectivityClass) float64 {
+		var alphas []float64
+		for i := 0; i < 3; i++ {
+			q, err := gen.GenerateWithClass(class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var counts []int64
+			ok := true
+			for _, n := range sizes {
+				c, err := eval.Count(graphs[n], q, eval.Budget{MaxPairs: 30_000_000})
+				if err != nil {
+					ok = false
+					break
+				}
+				counts = append(counts, c)
+			}
+			if ok {
+				alphas = append(alphas, stats.AlphaFromCounts(sizes, counts))
+			}
+		}
+		if len(alphas) == 0 {
+			t.Fatal("all queries failed")
+		}
+		return stats.Mean(alphas)
+	}
+	constant := alphaOf(query.Constant)
+	linear := alphaOf(query.Linear)
+	quadratic := alphaOf(query.Quadratic)
+	if !(constant < linear && linear < quadratic) {
+		t.Errorf("alpha ordering violated: constant=%.2f linear=%.2f quadratic=%.2f",
+			constant, linear, quadratic)
+	}
+	if constant > 0.5 {
+		t.Errorf("constant alpha = %.2f, want near 0", constant)
+	}
+	if quadratic < 1.4 {
+		t.Errorf("quadratic alpha = %.2f, want near 2", quadratic)
+	}
+}

@@ -1,0 +1,383 @@
+// Package querygen implements gMark's query workload generation
+// algorithm (paper, Fig. 6 and Section 5): for each query it draws a
+// skeleton of the requested shape and size, picks projection variables
+// consistent with the arity constraint, and instantiates the
+// placeholders with regular path expressions. For selectivity-
+// constrained binary chain queries the instantiation walks the
+// selectivity graph G_sel so that the composed selectivity class of
+// the chain matches the requested class (Section 5.2.4); everything
+// else uses schema-typed random walks.
+//
+// Like the paper's heuristic, the generator never backtracks across
+// queries: when the exact constraints cannot be met it relaxes the
+// path-length window and, as a last resort, drops the selectivity
+// constraint, flagging the query as Relaxed.
+package querygen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+	"gmark/internal/schema"
+	"gmark/internal/selectivity"
+)
+
+// Config is the query workload configuration of Definition 3.5:
+// Q = (G, #q, ar, f, e, p_r, t).
+type Config struct {
+	// Graph is the graph configuration G the workload is coupled to.
+	Graph *schema.GraphConfig
+	// Count is #q, the number of queries to generate.
+	Count int
+	// Arity is the allowed range of query arities.
+	Arity query.Interval
+	// Shapes lists the allowed shapes f; empty means chain only.
+	Shapes []query.Shape
+	// Classes lists the allowed selectivity classes e; empty disables
+	// selectivity control.
+	Classes []query.SelectivityClass
+	// RecursionProb is p_r, the probability of a Kleene star above a
+	// conjunct.
+	RecursionProb float64
+	// Size is the query size tuple t.
+	Size query.Size
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("querygen: nil graph configuration")
+	}
+	if err := c.Graph.Validate(); err != nil {
+		return err
+	}
+	if c.Count < 0 {
+		return fmt.Errorf("querygen: negative query count %d", c.Count)
+	}
+	if err := c.Arity.Validate(); err != nil {
+		return fmt.Errorf("querygen: arity: %w", err)
+	}
+	if c.RecursionProb < 0 || c.RecursionProb > 1 {
+		return fmt.Errorf("querygen: recursion probability %g outside [0,1]", c.RecursionProb)
+	}
+	if err := c.Size.Validate(); err != nil {
+		return fmt.Errorf("querygen: size: %w", err)
+	}
+	if c.Size.Length.Max == 0 {
+		return fmt.Errorf("querygen: maximum path length must be >= 1")
+	}
+	return nil
+}
+
+// maxRelaxation bounds how far the path-length window is widened when
+// the selectivity walk fails (Section 5.2.4's relaxation).
+const maxRelaxation = 3
+
+// attemptsPerQuery bounds re-draws of the conjunct/star layout before
+// the window is widened.
+const attemptsPerQuery = 4
+
+// Generator generates queries for one configuration.
+type Generator struct {
+	cfg  Config
+	est  *selectivity.Estimator
+	sg   *selectivity.SchemaGraph
+	gsel map[query.Interval]*selectivity.SelectivityGraph
+	rng  *rand.Rand
+	// startNodes caches the G_S identity nodes that have at least one
+	// outgoing edge (usable walk starts).
+	startNodes []int
+}
+
+// New builds a generator, precomputing the schema graph and its
+// distance matrix.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est, err := selectivity.NewEstimator(&cfg.Graph.Schema)
+	if err != nil {
+		return nil, err
+	}
+	sg := selectivity.NewSchemaGraph(est)
+	g := &Generator{
+		cfg:  cfg,
+		est:  est,
+		sg:   sg,
+		gsel: make(map[query.Interval]*selectivity.SelectivityGraph),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for t := 0; t < est.NumTypes(); t++ {
+		n := sg.IdentityNode(t)
+		if len(sg.Out[n]) > 0 {
+			g.startNodes = append(g.startNodes, n)
+		}
+	}
+	if len(g.startNodes) == 0 {
+		return nil, fmt.Errorf("querygen: schema admits no edges at all")
+	}
+	return g, nil
+}
+
+// Estimator exposes the selectivity estimator built for the schema.
+func (g *Generator) Estimator() *selectivity.Estimator { return g.est }
+
+// SchemaGraph exposes the schema graph G_S.
+func (g *Generator) SchemaGraph() *selectivity.SchemaGraph { return g.sg }
+
+// selGraph returns the (cached) selectivity graph for a length window.
+func (g *Generator) selGraph(w query.Interval) *selectivity.SelectivityGraph {
+	if gs, ok := g.gsel[w]; ok {
+		return gs
+	}
+	gs := g.sg.Selectivity(w.Min, w.Max)
+	g.gsel[w] = gs
+	return gs
+}
+
+// Generate produces the configured number of queries.
+func (g *Generator) Generate() ([]*query.Query, error) {
+	out := make([]*query.Query, 0, g.cfg.Count)
+	for i := 0; i < g.cfg.Count; i++ {
+		q, err := g.GenerateOne()
+		if err != nil {
+			return nil, fmt.Errorf("querygen: query %d: %w", i, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// GenerateOne draws one query according to the configuration.
+func (g *Generator) GenerateOne() (*query.Query, error) {
+	shape := g.pickShape()
+	if len(g.cfg.Classes) > 0 && shape == query.Chain {
+		class := g.cfg.Classes[g.rng.Intn(len(g.cfg.Classes))]
+		return g.GenerateWithClass(class)
+	}
+	return g.generatePlain(shape)
+}
+
+func (g *Generator) pickShape() query.Shape {
+	if len(g.cfg.Shapes) == 0 {
+		return query.Chain
+	}
+	return g.cfg.Shapes[g.rng.Intn(len(g.cfg.Shapes))]
+}
+
+func (g *Generator) interval(iv query.Interval) int {
+	if iv.Max <= iv.Min {
+		return iv.Min
+	}
+	return iv.Min + g.rng.Intn(iv.Max-iv.Min+1)
+}
+
+// lengthWindow returns the configured path-length window, widened by
+// relax steps on both sides (never below 1 on the low side unless the
+// configuration itself allows zero-length paths).
+func (g *Generator) lengthWindow(relax int) query.Interval {
+	lo := g.cfg.Size.Length.Min - relax
+	floor := 1
+	if g.cfg.Size.Length.Min == 0 {
+		floor = 0
+	}
+	if lo < floor {
+		lo = floor
+	}
+	return query.Interval{Min: lo, Max: g.cfg.Size.Length.Max + relax}
+}
+
+// GenerateWithClass draws one binary chain query whose estimated
+// selectivity class is class (Section 5.2.4). The returned query's
+// Relaxed flag reports whether the class constraint had to be dropped.
+func (g *Generator) GenerateWithClass(class query.SelectivityClass) (*query.Query, error) {
+	numRules := g.interval(g.cfg.Size.Rules)
+	q := &query.Query{Shape: query.Chain, HasClass: true, Class: class}
+	for r := 0; r < numRules; r++ {
+		rule, relaxed, ok := g.classChainRule(class)
+		if !ok {
+			// Last resort: drop the selectivity constraint for this
+			// rule (the paper always outputs a result).
+			rule, ok = g.plainBinaryChainRule()
+			if !ok {
+				return nil, fmt.Errorf("querygen: could not instantiate chain rule under schema")
+			}
+			q.Rules = append(q.Rules, rule)
+			q.HasClass = false
+			q.Relaxed = true
+			continue
+		}
+		if relaxed {
+			q.Relaxed = true
+		}
+		q.Rules = append(q.Rules, rule)
+	}
+	// All rules of a query share one arity; the class machinery fixes
+	// it at 2 (binary endpoints).
+	return q, q.Validate()
+}
+
+// classChainRule draws one chain rule targeting a selectivity class,
+// applying the relaxation ladder: re-draw layouts, then widen the
+// path-length window.
+func (g *Generator) classChainRule(class query.SelectivityClass) (query.Rule, bool, bool) {
+	for relax := 0; relax <= maxRelaxation; relax++ {
+		window := g.lengthWindow(relax)
+		gsel := g.selGraph(window)
+		for attempt := 0; attempt < attemptsPerQuery; attempt++ {
+			numConjuncts := g.interval(g.cfg.Size.Conjuncts)
+			starred := make([]bool, numConjuncts)
+			walkSteps := 0
+			for i := range starred {
+				if g.rng.Float64() < g.cfg.RecursionProb {
+					starred[i] = true
+				} else {
+					walkSteps++
+				}
+			}
+			walk, ok := gsel.WalkToClass(g.rng, walkSteps, class)
+			if !ok {
+				// Retry with all conjuncts unstarred before widening.
+				if walkSteps != numConjuncts {
+					walk, ok = gsel.WalkToClass(g.rng, numConjuncts, class)
+					if ok {
+						starred = make([]bool, numConjuncts)
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			rule, ok := g.instantiateChain(walk, starred, window, true)
+			if !ok {
+				continue
+			}
+			return rule, relax > 0, true
+		}
+	}
+	return query.Rule{}, false, false
+}
+
+// instantiateChain converts a G_sel walk plus a star layout into a
+// chain rule with head (x0, xk). When exact is true every disjunct
+// connects the exact G_S walk nodes (preserving the selectivity
+// triple); otherwise disjuncts only respect the endpoint types.
+func (g *Generator) instantiateChain(walk []int, starred []bool, window query.Interval, exact bool) (query.Rule, bool) {
+	var body []query.Conjunct
+	nextVar := query.Var(1)
+	walkIdx := 0
+	cur := query.Var(0)
+	for i := 0; i < len(starred); i++ {
+		var expr regpath.Expr
+		var ok bool
+		if starred[i] {
+			expr, ok = g.starExpr(walk[walkIdx], window)
+		} else {
+			expr, ok = g.stepExpr(walk[walkIdx], walk[walkIdx+1], window, exact)
+			walkIdx++
+		}
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: cur, Dst: nextVar, Expr: expr})
+		cur = nextVar
+		nextVar++
+	}
+	if len(body) == 0 {
+		return query.Rule{}, false
+	}
+	return query.Rule{Head: []query.Var{0, cur}, Body: body}, true
+}
+
+// stepExpr instantiates one placeholder for a walk step from G_S node
+// a to node b: a disjunction of label paths with lengths in the
+// window.
+func (g *Generator) stepExpr(a, b int, window query.Interval, exact bool) (regpath.Expr, bool) {
+	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+	targetType := g.sg.Nodes[b].Type
+	var paths []regpath.Path
+	for d := 0; d < numDisjuncts; d++ {
+		var p regpath.Path
+		var ok bool
+		if exact {
+			p, ok = g.sg.SamplePathBetween(g.rng, a, b, window.Min, window.Max)
+		} else {
+			p, _, ok = g.sg.SamplePathBetweenSets(g.rng, a,
+				func(v int) bool { return g.sg.Nodes[v].Type == targetType },
+				window.Min, window.Max)
+		}
+		if !ok {
+			if d == 0 {
+				return regpath.Expr{}, false
+			}
+			break // fewer disjuncts than requested: accept
+		}
+		if !containsPath(paths, p) {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return regpath.Expr{}, false
+	}
+	return regpath.Expr{Paths: paths}, true
+}
+
+// starExpr instantiates a recursive conjunct at G_S node a: the inner
+// expression loops back to the node's type, and the whole disjunction
+// is starred. Starred conjuncts inherit their neighbors' types with
+// the '=' selectivity operation (Section 5.2.4).
+func (g *Generator) starExpr(a int, window query.Interval) (regpath.Expr, bool) {
+	t := g.sg.Nodes[a].Type
+	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+	lmin := window.Min
+	if lmin < 1 {
+		lmin = 1 // an eps disjunct under a star is pointless
+	}
+	var paths []regpath.Path
+	for d := 0; d < numDisjuncts; d++ {
+		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, g.sg.IdentityNode(t),
+			func(v int) bool { return g.sg.Nodes[v].Type == t },
+			lmin, window.Max)
+		if !ok {
+			if d == 0 {
+				return regpath.Expr{}, false
+			}
+			break
+		}
+		if !containsPath(paths, p) {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return regpath.Expr{}, false
+	}
+	return regpath.Expr{Paths: paths, Star: true}, true
+}
+
+// plainBinaryChainRule draws an unconstrained chain rule projected on
+// its endpoints, for selectivity-constrained workloads whose class
+// walk could not be satisfied.
+func (g *Generator) plainBinaryChainRule() (query.Rule, bool) {
+	for attempt := 0; attempt < attemptsPerQuery*(maxRelaxation+1); attempt++ {
+		window := g.lengthWindow(attempt / attemptsPerQuery)
+		rule, ok := g.plainChain(g.interval(g.cfg.Size.Conjuncts), window)
+		if ok {
+			rule.Head = []query.Var{rule.Body[0].Src, rule.Body[len(rule.Body)-1].Dst}
+			return rule, true
+		}
+	}
+	return query.Rule{}, false
+}
+
+func containsPath(paths []regpath.Path, p regpath.Path) bool {
+	for _, q := range paths {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,293 @@
+package querygen
+
+import (
+	"fmt"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// generatePlain draws one query of the given shape without selectivity
+// control: skeleton first (Fig. 6, line 2), projection variables
+// (line 3), then schema-typed placeholder instantiation (line 4).
+func (g *Generator) generatePlain(shape query.Shape) (*query.Query, error) {
+	numRules := g.interval(g.cfg.Size.Rules)
+	q := &query.Query{Shape: shape}
+
+	// All rules share the query arity; draw it once, capped later by
+	// the variable count of each rule.
+	wantArity := g.interval(g.cfg.Arity)
+
+	for r := 0; r < numRules; r++ {
+		var rule query.Rule
+		var ok bool
+		for attempt := 0; attempt < attemptsPerQuery*(maxRelaxation+1); attempt++ {
+			relax := attempt / attemptsPerQuery
+			window := g.lengthWindow(relax)
+			rule, ok = g.plainRule(shape, window)
+			if ok {
+				if relax > 0 {
+					q.Relaxed = true
+				}
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("querygen: could not instantiate %s rule under schema", shape)
+		}
+		q.Rules = append(q.Rules, rule)
+	}
+
+	// Projection: a uniform random subset of each rule's variables, of
+	// the drawn arity (clamped to the variable count).
+	for i := range q.Rules {
+		q.Rules[i].Head = g.pickProjection(&q.Rules[i], wantArity)
+	}
+	return q, q.Validate()
+}
+
+// pickProjection draws head variables for a rule.
+func (g *Generator) pickProjection(r *query.Rule, arity int) []query.Var {
+	seen := map[query.Var]bool{}
+	var vars []query.Var
+	for _, c := range r.Body {
+		for _, v := range []query.Var{c.Src, c.Dst} {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	if arity > len(vars) {
+		arity = len(vars)
+	}
+	// Partial Fisher-Yates, then restore ascending order for
+	// readability.
+	for i := 0; i < arity; i++ {
+		j := i + g.rng.Intn(len(vars)-i)
+		vars[i], vars[j] = vars[j], vars[i]
+	}
+	head := append([]query.Var(nil), vars[:arity]...)
+	for i := 1; i < len(head); i++ {
+		for j := i; j > 0 && head[j] < head[j-1]; j-- {
+			head[j], head[j-1] = head[j-1], head[j]
+		}
+	}
+	return head
+}
+
+// plainRule builds one rule body of the given shape.
+func (g *Generator) plainRule(shape query.Shape, window query.Interval) (query.Rule, bool) {
+	numConjuncts := g.interval(g.cfg.Size.Conjuncts)
+	switch shape {
+	case query.Chain:
+		return g.plainChain(numConjuncts, window)
+	case query.Star:
+		return g.plainStar(numConjuncts, window)
+	case query.Cycle:
+		return g.plainCycle(numConjuncts, window)
+	case query.StarChain:
+		return g.plainStarChain(numConjuncts, window)
+	default:
+		return query.Rule{}, false
+	}
+}
+
+// walkState instantiates conjuncts greedily along a type walk.
+type walkState struct {
+	g    *Generator
+	node int // current G_S identity node
+}
+
+func (g *Generator) newWalk() walkState {
+	start := g.startNodes[g.rng.Intn(len(g.startNodes))]
+	return walkState{g: g, node: start}
+}
+
+func (g *Generator) walkFromType(t int) walkState {
+	return walkState{g: g, node: g.sg.IdentityNode(t)}
+}
+
+// typeOf returns the node type at the walk position.
+func (w *walkState) typeOf() int { return w.g.sg.Nodes[w.node].Type }
+
+// step instantiates one conjunct expression and advances the walk.
+// With probability p_r the conjunct is starred and the walk stays on
+// the same type.
+func (w *walkState) step(window query.Interval, allowStar bool) (regpath.Expr, bool) {
+	g := w.g
+	if allowStar && g.rng.Float64() < g.cfg.RecursionProb {
+		expr, ok := g.starExpr(w.node, window)
+		if ok {
+			return expr, true
+		}
+		// No loop back to this type: fall through to a plain step.
+	}
+	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+	first, end, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
+		func(int) bool { return true }, window.Min, window.Max)
+	if !ok {
+		return regpath.Expr{}, false
+	}
+	endType := g.sg.Nodes[end].Type
+	paths := []regpath.Path{first}
+	for d := 1; d < numDisjuncts; d++ {
+		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
+			func(v int) bool { return g.sg.Nodes[v].Type == endType },
+			window.Min, window.Max)
+		if !ok {
+			break
+		}
+		if !containsPath(paths, p) {
+			paths = append(paths, p)
+		}
+	}
+	w.node = g.sg.IdentityNode(endType)
+	return regpath.Expr{Paths: paths}, true
+}
+
+// stepToType instantiates one conjunct constrained to end on a given
+// type (used to close cycles).
+func (w *walkState) stepToType(window query.Interval, endType int) (regpath.Expr, bool) {
+	g := w.g
+	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+	var paths []regpath.Path
+	for d := 0; d < numDisjuncts; d++ {
+		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
+			func(v int) bool { return g.sg.Nodes[v].Type == endType },
+			window.Min, window.Max)
+		if !ok {
+			if d == 0 {
+				return regpath.Expr{}, false
+			}
+			break
+		}
+		if !containsPath(paths, p) {
+			paths = append(paths, p)
+		}
+	}
+	w.node = g.sg.IdentityNode(endType)
+	return regpath.Expr{Paths: paths}, true
+}
+
+// plainChain: (?x0,P1,?x1), (?x1,P2,?x2), ...
+func (g *Generator) plainChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	w := g.newWalk()
+	var body []query.Conjunct
+	cur := query.Var(0)
+	for i := 0; i < numConjuncts; i++ {
+		expr, ok := w.step(window, true)
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: cur, Dst: cur + 1, Expr: expr})
+		cur++
+	}
+	return query.Rule{Body: body}, true
+}
+
+// plainStar: all conjuncts share the starting variable:
+// (?x0,P1,?x1), (?x0,P2,?x2), ...
+func (g *Generator) plainStar(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	center := g.newWalk()
+	centerType := center.typeOf()
+	var body []query.Conjunct
+	for i := 0; i < numConjuncts; i++ {
+		w := g.walkFromType(centerType)
+		expr, ok := w.step(window, true)
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: 0, Dst: query.Var(i + 1), Expr: expr})
+	}
+	return query.Rule{Body: body}, true
+}
+
+// plainCycle: two chains sharing both endpoint variables.
+func (g *Generator) plainCycle(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	if numConjuncts < 2 {
+		// A 1-conjunct cycle is a self-loop (?x0, P, ?x0); the schema
+		// must admit a path returning to the start type.
+		w := g.newWalk()
+		t := w.typeOf()
+		expr, ok := w.stepToType(window, t)
+		if !ok {
+			return query.Rule{}, false
+		}
+		return query.Rule{Body: []query.Conjunct{{Src: 0, Dst: 0, Expr: expr}}}, true
+	}
+	c1 := (numConjuncts + 1) / 2
+	c2 := numConjuncts - c1
+
+	// Forward chain x0 .. xm.
+	w := g.newWalk()
+	startType := w.typeOf()
+	var body []query.Conjunct
+	cur := query.Var(0)
+	for i := 0; i < c1; i++ {
+		expr, ok := w.step(window, true)
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: cur, Dst: cur + 1, Expr: expr})
+		cur++
+	}
+	endVar, endType := cur, w.typeOf()
+
+	// Second chain x0 -> ... -> xm with fresh intermediates; the last
+	// conjunct is constrained to land on the end type.
+	w2 := g.walkFromType(startType)
+	prev := query.Var(0)
+	for i := 0; i < c2; i++ {
+		last := i == c2-1
+		var expr regpath.Expr
+		var ok bool
+		if last {
+			expr, ok = w2.stepToType(window, endType)
+		} else {
+			expr, ok = w2.step(window, false)
+		}
+		if !ok {
+			return query.Rule{}, false
+		}
+		dst := endVar + query.Var(i) + 1
+		if last {
+			dst = endVar
+		}
+		body = append(body, query.Conjunct{Src: prev, Dst: dst, Expr: expr})
+		prev = dst
+	}
+	return query.Rule{Body: body}, true
+}
+
+// plainStarChain: a chain with star branches hanging off its joints.
+func (g *Generator) plainStarChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	chainLen := (numConjuncts + 1) / 2
+	branches := numConjuncts - chainLen
+
+	w := g.newWalk()
+	var body []query.Conjunct
+	varTypes := []int{w.typeOf()} // type of x0, x1, ...
+	cur := query.Var(0)
+	for i := 0; i < chainLen; i++ {
+		expr, ok := w.step(window, true)
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: cur, Dst: cur + 1, Expr: expr})
+		varTypes = append(varTypes, w.typeOf())
+		cur++
+	}
+	nextVar := cur + 1
+	for b := 0; b < branches; b++ {
+		at := g.rng.Intn(len(varTypes))
+		wb := g.walkFromType(varTypes[at])
+		expr, ok := wb.step(window, true)
+		if !ok {
+			return query.Rule{}, false
+		}
+		body = append(body, query.Conjunct{Src: query.Var(at), Dst: nextVar, Expr: expr})
+		nextVar++
+	}
+	return query.Rule{Body: body}, true
+}

@@ -1,0 +1,148 @@
+package regpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the syntax produced by Expr.String:
+//
+//	expr   := '(' alts ')' '*'? | alts
+//	alts   := path ('+' path)*
+//	path   := 'eps' | symbol ('.' symbol)*
+//	symbol := ident '-'?
+//
+// Whitespace is permitted around every token.
+func Parse(input string) (Expr, error) {
+	p := &parser{src: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Expr{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Expr{}, fmt.Errorf("regpath: trailing input at offset %d in %q", p.pos, input)
+	}
+	return e, nil
+}
+
+// MustParse is Parse panicking on error; intended for tests and
+// hand-written fixed queries.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		alts, err := p.parseAlts()
+		if err != nil {
+			return Expr{}, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return Expr{}, fmt.Errorf("regpath: missing ')' at offset %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		p.skipSpace()
+		star := false
+		if p.peek() == '*' {
+			p.pos++
+			star = true
+		}
+		return Expr{Paths: alts, Star: star}, nil
+	}
+	alts, err := p.parseAlts()
+	if err != nil {
+		return Expr{}, err
+	}
+	return Expr{Paths: alts}, nil
+}
+
+func (p *parser) parseAlts() ([]Path, error) {
+	var alts []Path
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, path)
+		p.skipSpace()
+		if p.peek() != '+' {
+			return alts, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parsePath() (Path, error) {
+	p.skipSpace()
+	// Look ahead for the epsilon keyword.
+	if strings.HasPrefix(p.src[p.pos:], "eps") {
+		after := p.pos + 3
+		if after == len(p.src) || !isIdentByte(p.src[after]) {
+			p.pos = after
+			return Path{}, nil
+		}
+	}
+	var path Path
+	for {
+		sym, err := p.parseSymbol()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, sym)
+		p.skipSpace()
+		if p.peek() != '.' {
+			return path, nil
+		}
+		p.pos++
+		p.skipSpace()
+	}
+}
+
+func (p *parser) parseSymbol() (Symbol, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Symbol{}, fmt.Errorf("regpath: expected predicate name at offset %d in %q", start, p.src)
+	}
+	name := p.src[start:p.pos]
+	inv := false
+	if p.peek() == '-' {
+		p.pos++
+		inv = true
+	}
+	return Symbol{Pred: name, Inverse: inv}, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}

@@ -1,0 +1,180 @@
+// Package regpath implements the regular path expressions used in
+// gMark's UCRPQ queries (paper, Section 3.3): expressions over
+// Sigma+ = {a, a- | a in Sigma} built from concatenation, disjunction
+// and Kleene star, with recursion restricted to the outermost level.
+//
+// Every expression therefore has the normal form
+//
+//	(P1 + ... + Pk)   or   (P1 + ... + Pk)*
+//
+// where each Pi is a path: a concatenation of zero or more symbols.
+// The zero-length path is the empty word epsilon.
+package regpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Symbol is one edge label or its inverse (a or a-).
+type Symbol struct {
+	Pred    string
+	Inverse bool
+}
+
+// Inv returns the inverse symbol.
+func (s Symbol) Inv() Symbol { return Symbol{Pred: s.Pred, Inverse: !s.Inverse} }
+
+// String renders "a" or "a-".
+func (s Symbol) String() string {
+	if s.Inverse {
+		return s.Pred + "-"
+	}
+	return s.Pred
+}
+
+// Path is a concatenation of symbols; the empty path is epsilon.
+type Path []Symbol
+
+// String renders "a.b-.c" or "eps" for the empty path.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "eps"
+	}
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// Equal reports structural equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns the path read backwards with every symbol inverted;
+// it denotes the inverse relation.
+func (p Path) Reverse() Path {
+	r := make(Path, len(p))
+	for i, s := range p {
+		r[len(p)-1-i] = s.Inv()
+	}
+	return r
+}
+
+// Expr is a regular path expression in gMark normal form.
+type Expr struct {
+	// Paths are the disjuncts P1 ... Pk. A valid expression has k >= 1.
+	Paths []Path
+	// Star marks the outermost Kleene star.
+	Star bool
+}
+
+// Single returns the expression consisting of one symbol.
+func Single(s Symbol) Expr { return Expr{Paths: []Path{{s}}} }
+
+// FromPath returns the expression with one disjunct.
+func FromPath(p Path) Expr { return Expr{Paths: []Path{p}} }
+
+// Validate checks the k >= 1 invariant.
+func (e Expr) Validate() error {
+	if len(e.Paths) == 0 {
+		return fmt.Errorf("regpath: expression with no disjuncts")
+	}
+	return nil
+}
+
+// String renders the expression, e.g. "(a.b+c)*" or "a.b-".
+func (e Expr) String() string {
+	parts := make([]string, len(e.Paths))
+	for i, p := range e.Paths {
+		parts[i] = p.String()
+	}
+	body := strings.Join(parts, "+")
+	if e.Star {
+		return "(" + body + ")*"
+	}
+	if len(e.Paths) > 1 {
+		return "(" + body + ")"
+	}
+	return body
+}
+
+// Equal reports structural equality.
+func (e Expr) Equal(f Expr) bool {
+	if e.Star != f.Star || len(e.Paths) != len(f.Paths) {
+		return false
+	}
+	for i := range e.Paths {
+		if !e.Paths[i].Equal(f.Paths[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumDisjuncts returns k, the number of disjuncts.
+func (e Expr) NumDisjuncts() int { return len(e.Paths) }
+
+// MinPathLen and MaxPathLen return the extremes of the disjunct
+// lengths; both return 0 for an expression without disjuncts.
+func (e Expr) MinPathLen() int {
+	if len(e.Paths) == 0 {
+		return 0
+	}
+	min := len(e.Paths[0])
+	for _, p := range e.Paths[1:] {
+		if len(p) < min {
+			min = len(p)
+		}
+	}
+	return min
+}
+
+// MaxPathLen returns the length of the longest disjunct.
+func (e Expr) MaxPathLen() int {
+	max := 0
+	for _, p := range e.Paths {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}
+
+// HasInverse reports whether any symbol is inverted.
+func (e Expr) HasInverse() bool {
+	for _, p := range e.Paths {
+		for _, s := range p {
+			if s.Inverse {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Predicates returns the distinct predicate names used, in first-use
+// order.
+func (e Expr) Predicates() []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, p := range e.Paths {
+		for _, s := range p {
+			if !seen[s.Pred] {
+				seen[s.Pred] = true
+				names = append(names, s.Pred)
+			}
+		}
+	}
+	return names
+}

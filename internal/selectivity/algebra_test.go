@@ -1,0 +1,218 @@
+package selectivity
+
+import "testing"
+
+// ops in the paper's table order.
+var ops = []Op{OpEq, OpLess, OpGreater, OpDiamond, OpCross}
+
+// TestFig7DisjunctionTable checks all 25 cells of Fig. 7(a). Rows and
+// columns are in the order =, <, >, diamond, x; the table is
+// symmetric.
+func TestFig7DisjunctionTable(t *testing.T) {
+	want := [5][5]Op{
+		{OpEq, OpLess, OpGreater, OpDiamond, OpCross},
+		{OpLess, OpLess, OpDiamond, OpDiamond, OpCross},
+		{OpGreater, OpDiamond, OpGreater, OpDiamond, OpCross},
+		{OpDiamond, OpDiamond, OpDiamond, OpDiamond, OpCross},
+		{OpCross, OpCross, OpCross, OpCross, OpCross},
+	}
+	for i, a := range ops {
+		for j, b := range ops {
+			if got := Disjoin(a, b); got != want[i][j] {
+				t.Errorf("%v + %v = %v, want %v", a, b, got, want[i][j])
+			}
+		}
+	}
+}
+
+// TestFig7ConcatenationTable checks all 25 cells of Fig. 7(b), read in
+// (column, row) order: the first operand is the paper's column. The
+// derived first-operand-indexed table is checked cell by cell.
+func TestFig7ConcatenationTable(t *testing.T) {
+	want := map[[2]Op]Op{
+		// first operand =: identity.
+		{OpEq, OpEq}: OpEq, {OpEq, OpLess}: OpLess, {OpEq, OpGreater}: OpGreater,
+		{OpEq, OpDiamond}: OpDiamond, {OpEq, OpCross}: OpCross,
+		// first operand <.
+		{OpLess, OpEq}: OpLess, {OpLess, OpLess}: OpLess, {OpLess, OpGreater}: OpDiamond,
+		{OpLess, OpDiamond}: OpDiamond, {OpLess, OpCross}: OpCross,
+		// first operand >.
+		{OpGreater, OpEq}: OpGreater, {OpGreater, OpLess}: OpCross, {OpGreater, OpGreater}: OpGreater,
+		{OpGreater, OpDiamond}: OpCross, {OpGreater, OpCross}: OpCross,
+		// first operand diamond.
+		{OpDiamond, OpEq}: OpDiamond, {OpDiamond, OpLess}: OpCross, {OpDiamond, OpGreater}: OpDiamond,
+		{OpDiamond, OpDiamond}: OpCross, {OpDiamond, OpCross}: OpCross,
+		// first operand x: absorbing.
+		{OpCross, OpEq}: OpCross, {OpCross, OpLess}: OpCross, {OpCross, OpGreater}: OpCross,
+		{OpCross, OpDiamond}: OpCross, {OpCross, OpCross}: OpCross,
+	}
+	for k, w := range want {
+		if got := Concat(k[0], k[1]); got != w {
+			t.Errorf("%v . %v = %v, want %v", k[0], k[1], got, w)
+		}
+	}
+}
+
+// TestPaperIntuitions checks the two composition identities stated in
+// Section 5.2.2: "the x is the result of a > followed by a <" and
+// "the diamond is the result of a < followed by a >".
+func TestPaperIntuitions(t *testing.T) {
+	if got := Concat(OpGreater, OpLess); got != OpCross {
+		t.Errorf("> . < = %v, want x", got)
+	}
+	if got := Concat(OpLess, OpGreater); got != OpDiamond {
+		t.Errorf("< . > = %v, want diamond", got)
+	}
+}
+
+func TestDisjoinSymmetric(t *testing.T) {
+	for _, a := range ops {
+		for _, b := range ops {
+			if Disjoin(a, b) != Disjoin(b, a) {
+				t.Errorf("disjunction not symmetric at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestEqIsConcatIdentity(t *testing.T) {
+	for _, o := range ops {
+		if Concat(OpEq, o) != o || Concat(o, OpEq) != o {
+			t.Errorf("= is not an identity for %v", o)
+		}
+	}
+}
+
+func TestCrossAbsorbing(t *testing.T) {
+	for _, o := range ops {
+		if Concat(OpCross, o) != OpCross || Concat(o, OpCross) != OpCross {
+			t.Errorf("x not absorbing under concat with %v", o)
+		}
+		if Disjoin(OpCross, o) != OpCross {
+			t.Errorf("x not absorbing under disjunction with %v", o)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		in, want Triple
+	}{
+		// The paper's replacement rule: (1,x,1) and (1,<>,1) become (1,=,1).
+		{Triple{One, OpCross, One}, Triple{One, OpEq, One}},
+		{Triple{One, OpDiamond, One}, Triple{One, OpEq, One}},
+		// Types alone determine the op when a 1 is present.
+		{Triple{One, OpGreater, Many}, Triple{One, OpLess, Many}},
+		{Triple{Many, OpLess, One}, Triple{Many, OpGreater, One}},
+		{Triple{One, OpCross, Many}, Triple{One, OpLess, Many}},
+		// (N, o, N) is untouched.
+		{Triple{Many, OpDiamond, Many}, Triple{Many, OpDiamond, Many}},
+		{Triple{Many, OpCross, Many}, Triple{Many, OpCross, Many}},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	cases := []struct {
+		in   Triple
+		want int
+	}{
+		{Triple{One, OpEq, One}, 0},
+		{Triple{Many, OpCross, Many}, 2},
+		{Triple{Many, OpEq, Many}, 1},
+		{Triple{Many, OpLess, Many}, 1},
+		{Triple{Many, OpGreater, Many}, 1},
+		{Triple{Many, OpDiamond, Many}, 1},
+		{Triple{One, OpLess, Many}, 1},
+		{Triple{Many, OpGreater, One}, 1},
+		// Unclamped garbage still resolves sanely.
+		{Triple{One, OpCross, One}, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.Alpha(); got != c.want {
+			t.Errorf("Alpha(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	if Identity(Many) != (Triple{Many, OpEq, Many}) {
+		t.Error("Identity(N)")
+	}
+	if Identity(One) != (Triple{One, OpEq, One}) {
+		t.Error("Identity(1)")
+	}
+}
+
+func TestStarTriple(t *testing.T) {
+	// The knows chokepoint: diamond squared is x, so the closure of a
+	// hub-structured relation is quadratic.
+	knows := Triple{Many, OpDiamond, Many}
+	if got := StarTriple(knows); got != (Triple{Many, OpCross, Many}) {
+		t.Errorf("StarTriple(diamond) = %v, want x", got)
+	}
+	// A functional relation's closure stays linear.
+	fn := Triple{Many, OpEq, Many}
+	if got := StarTriple(fn); got != (Triple{Many, OpEq, Many}) {
+		t.Errorf("StarTriple(=) = %v", got)
+	}
+	// A constant loop stays constant.
+	c := Triple{One, OpEq, One}
+	if got := StarTriple(c); got != (Triple{One, OpEq, One}) {
+		t.Errorf("StarTriple(1,=,1) = %v", got)
+	}
+}
+
+func TestConcatTriples(t *testing.T) {
+	// (N,>,1) . (1,<,N) clamps nothing: > . < = x over middle type 1.
+	a := Triple{Many, OpGreater, One}
+	b := Triple{One, OpLess, Many}
+	if got := ConcatTriples(a, b); got != (Triple{Many, OpCross, Many}) {
+		t.Errorf("(N,>,1).(1,<,N) = %v, want (N,x,N)", got)
+	}
+	// (1,<,N) . (N,>,1) = (1,<>,1) which clamps to (1,=,1): the
+	// constant-loop pattern of Section 5.2.2.
+	if got := ConcatTriples(b, a); got != (Triple{One, OpEq, One}) {
+		t.Errorf("(1,<,N).(N,>,1) = %v, want (1,=,1)", got)
+	}
+}
+
+func TestDisjoinTriples(t *testing.T) {
+	a := Triple{Many, OpLess, Many}
+	b := Triple{Many, OpGreater, Many}
+	if got := DisjoinTriples(a, b); got != (Triple{Many, OpDiamond, Many}) {
+		t.Errorf("< + > = %v, want diamond", got)
+	}
+}
+
+func TestReverseOp(t *testing.T) {
+	if reverseOp(OpLess) != OpGreater || reverseOp(OpGreater) != OpLess {
+		t.Error("< and > should swap")
+	}
+	for _, o := range []Op{OpEq, OpDiamond, OpCross} {
+		if reverseOp(o) != o {
+			t.Errorf("%v should be self-inverse", o)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for o, want := range map[Op]string{
+		OpEq: "=", OpLess: "<", OpGreater: ">", OpDiamond: "<>", OpCross: "x",
+	} {
+		if o.String() != want {
+			t.Errorf("Op(%d).String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := Triple{Many, OpLess, One}
+	if tr.String() != "(N,<,1)" {
+		t.Errorf("triple string = %q", tr.String())
+	}
+}

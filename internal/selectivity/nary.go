@@ -1,0 +1,170 @@
+package selectivity
+
+import (
+	"sort"
+
+	"gmark/internal/query"
+)
+
+// This file implements the paper's stated future work ("extending the
+// selectivity estimation to n-ary queries", Section 8) as a documented
+// extension: an exponent calculus for chain rules projected onto an
+// arbitrary subset of their chain variables.
+//
+// The model: for consecutive projected variables, the segment of the
+// chain between them denotes a binary relation whose growth exponent
+// the binary algebra already estimates. Joining segments over a shared
+// interior variable multiplies counts and divides by the shared
+// variable's domain (an AGM-flavored independence estimate), so in
+// exponents
+//
+//	alpha(nary) = sum_j alpha(segment_j) - sum_shared kind(var)
+//
+// where kind(var) is 1 for a growing type and 0 for a fixed type,
+// clamped below by the largest single segment and above by the sum of
+// the projected variables' kinds (each projected variable contributes
+// at most one linear dimension; fixed-type variables contribute none).
+// Conjuncts outside the projected span act as semijoin filters and
+// contribute no growth. For binary endpoint projections the calculus
+// coincides with the paper's estimator.
+
+// EstimateAlphaNary estimates the selectivity exponent of a query
+// whose rules are chains projected onto chain variables in ascending
+// chain order (any arity, including 0 and 1). It returns ok=false when
+// a rule is not such a chain or the query is unsatisfiable under the
+// schema. The result is the maximum across rules (union bound).
+func (e *Estimator) EstimateAlphaNary(q *query.Query) (alpha int, ok bool, err error) {
+	if err := q.Validate(); err != nil {
+		return 0, false, err
+	}
+	best := -1
+	for _, r := range q.Rules {
+		a, ok, err := e.naryRuleAlpha(r)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			return 0, false, nil
+		}
+		if a > best {
+			best = a
+		}
+	}
+	if best < 0 {
+		return 0, false, nil
+	}
+	return best, true, nil
+}
+
+func (e *Estimator) naryRuleAlpha(r query.Rule) (int, bool, error) {
+	// The body must be a chain x0 -> x1 -> ... -> xk.
+	chainVars := []query.Var{r.Body[0].Src}
+	for _, c := range r.Body {
+		if c.Src != chainVars[len(chainVars)-1] {
+			return 0, false, nil
+		}
+		chainVars = append(chainVars, c.Dst)
+	}
+	pos := make(map[query.Var]int, len(chainVars))
+	for i, v := range chainVars {
+		if _, dup := pos[v]; dup {
+			return 0, false, nil // not a simple chain
+		}
+		pos[v] = i
+	}
+
+	// Head variables must be chain variables; sort them by chain
+	// position (projection is order-insensitive for counting).
+	if len(r.Head) == 0 {
+		return 0, true, nil // Boolean: at most one result
+	}
+	hpos := make([]int, 0, len(r.Head))
+	seen := map[int]bool{}
+	for _, v := range r.Head {
+		p, isChain := pos[v]
+		if !isChain || seen[p] {
+			return 0, false, nil
+		}
+		seen[p] = true
+		hpos = append(hpos, p)
+	}
+	sort.Ints(hpos)
+
+	// Per chain position, the set of admissible types with the prefix
+	// relation from the chain start; used for variable kinds and for
+	// segment matrices. Start from the full identity (any start type).
+	prefix := make([]Matrix, len(chainVars))
+	prefix[0] = e.identityMatrix()
+	for i, c := range r.Body {
+		cm, err := e.ExprMatrix(c.Expr)
+		if err != nil {
+			return 0, false, err
+		}
+		prefix[i+1] = concatMatrices(prefix[i], cm)
+	}
+	if !prefix[len(chainVars)-1].Defined() {
+		return 0, false, nil // unsatisfiable chain
+	}
+
+	// Unary projection: the variable's kind bounds the count.
+	if len(hpos) == 1 {
+		return e.varKindExponent(prefix[hpos[0]]), true, nil
+	}
+
+	// Segment exponents between consecutive projected variables.
+	total := 0
+	maxSeg := 0
+	for j := 0; j+1 < len(hpos); j++ {
+		seg := e.identityMatrix()
+		for i := hpos[j]; i < hpos[j+1]; i++ {
+			cm, err := e.ExprMatrix(r.Body[i].Expr)
+			if err != nil {
+				return 0, false, err
+			}
+			seg = concatMatrices(seg, cm)
+		}
+		a, any := seg.MaxAlpha()
+		if !any {
+			return 0, false, nil
+		}
+		total += a
+		if a > maxSeg {
+			maxSeg = a
+		}
+		// Shared interior variable between segment j and j+1.
+		if j+2 < len(hpos) {
+			total -= e.varKindExponent(prefix[hpos[j+1]])
+		}
+	}
+
+	// Upper bound: each projected variable contributes at most its
+	// kind exponent.
+	varSum := 0
+	for _, p := range hpos {
+		varSum += e.varKindExponent(prefix[p])
+	}
+	if total > varSum {
+		total = varSum
+	}
+	if total < maxSeg {
+		total = maxSeg
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total, true, nil
+}
+
+// varKindExponent returns 1 if the variable at a chain position can
+// inhabit a growing type (given the reachable-type matrix up to that
+// position), 0 if it is confined to fixed types.
+func (e *Estimator) varKindExponent(reach Matrix) int {
+	for a := 0; a < reach.n; a++ {
+		for b := 0; b < reach.n; b++ {
+			if _, ok := reach.Get(a, b); ok && e.kinds[b] == Many {
+				return 1
+			}
+		}
+	}
+	return 0
+}

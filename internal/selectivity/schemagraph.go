@@ -1,0 +1,390 @@
+package selectivity
+
+import (
+	"math/rand"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// SelNode is one node of the schema graph G_S: a node type paired with
+// the selectivity triple accumulated along a path ending at that type
+// (paper, Section 5.2.3(a)).
+type SelNode struct {
+	Type   int // index into the schema's type list
+	Triple Triple
+}
+
+// SelEdge is one labeled edge of G_S.
+type SelEdge struct {
+	Sym regpath.Symbol
+	To  int // index into SchemaGraph.Nodes
+}
+
+// SchemaGraph bundles the three data structures of Section 5.2.3: the
+// schema graph G_S, the all-pairs distance matrix D over its nodes,
+// and, per workload length interval, the selectivity graph G_sel.
+type SchemaGraph struct {
+	est   *Estimator
+	Nodes []SelNode
+	// Out[i] lists the labeled edges leaving node i.
+	Out [][]SelEdge
+	// Dist[i][j] is the shortest-path length from i to j in G_S, or -1.
+	Dist [][]int
+
+	index map[SelNode]int
+	// identity[t] is the node (t, Identity(kind(t))).
+	identity []int
+}
+
+// NewSchemaGraph builds G_S and the distance matrix for a schema.
+func NewSchemaGraph(est *Estimator) *SchemaGraph {
+	sg := &SchemaGraph{est: est, index: make(map[SelNode]int)}
+	nTypes := est.NumTypes()
+
+	// Enumerate the permitted (type, triple) pairs: for a growing type
+	// the left kind may be 1 (only with <) or N (any operation); for a
+	// fixed type only (1,=,1) and (N,>,1) are permitted.
+	for t := 0; t < nTypes; t++ {
+		k := est.Kind(t)
+		var triples []Triple
+		if k == Many {
+			triples = append(triples, Triple{Left: One, O: OpLess, Right: Many})
+			for op := Op(0); op < numOps; op++ {
+				triples = append(triples, Triple{Left: Many, O: op, Right: Many})
+			}
+		} else {
+			triples = append(triples,
+				Triple{Left: One, O: OpEq, Right: One},
+				Triple{Left: Many, O: OpGreater, Right: One},
+			)
+		}
+		for _, tr := range triples {
+			n := SelNode{Type: t, Triple: tr}
+			sg.index[n] = len(sg.Nodes)
+			sg.Nodes = append(sg.Nodes, n)
+		}
+	}
+
+	// Edges: extending a path ending at (T, tr) with symbol a: T -> T'
+	// moves to (T', tr . sel_{T,T'}(a)).
+	sg.Out = make([][]SelEdge, len(sg.Nodes))
+	for i, n := range sg.Nodes {
+		for _, te := range est.TypeEdges(n.Type) {
+			next := SelNode{Type: te.To, Triple: ConcatTriples(n.Triple, te.Base)}
+			j, ok := sg.index[next]
+			if !ok {
+				// Clamping keeps triples inside the permitted set, so
+				// every composition result is an enumerated node.
+				continue
+			}
+			sg.Out[i] = append(sg.Out[i], SelEdge{Sym: te.Sym, To: j})
+		}
+	}
+
+	sg.identity = make([]int, nTypes)
+	for t := 0; t < nTypes; t++ {
+		sg.identity[t] = sg.index[SelNode{Type: t, Triple: Identity(est.Kind(t))}]
+	}
+
+	sg.Dist = allPairsBFS(sg.Out, len(sg.Nodes))
+	return sg
+}
+
+// allPairsBFS computes the distance matrix D (Section 5.2.3(b)).
+func allPairsBFS(out [][]SelEdge, n int) [][]int {
+	d := make([][]int, n)
+	for s := 0; s < n; s++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range out[v] {
+				if row[e.To] < 0 {
+					row[e.To] = row[v] + 1
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		d[s] = row
+	}
+	return d
+}
+
+// IdentityNode returns the G_S node (T, (Type(T), =, Type(T))) for
+// type t: the start of every selectivity walk.
+func (sg *SchemaGraph) IdentityNode(t int) int { return sg.identity[t] }
+
+// NodeIndex returns the index of a node, or -1.
+func (sg *SchemaGraph) NodeIndex(n SelNode) int {
+	if i, ok := sg.index[n]; ok {
+		return i
+	}
+	return -1
+}
+
+// Alpha returns the selectivity value of the accumulated triple at
+// node i.
+func (sg *SchemaGraph) Alpha(i int) int { return sg.Nodes[i].Triple.Alpha() }
+
+// ClassOf maps a node's alpha to the workload selectivity class.
+func (sg *SchemaGraph) ClassOf(i int) query.SelectivityClass {
+	switch sg.Alpha(i) {
+	case 0:
+		return query.Constant
+	case 2:
+		return query.Quadratic
+	default:
+		return query.Linear
+	}
+}
+
+// SelectivityGraph is G_sel for a given path-length interval: an
+// unlabeled graph over the G_S nodes with an edge i -> j whenever G_S
+// has a path from i to j of length within [lmin, lmax]
+// (Section 5.2.3(c)).
+type SelectivityGraph struct {
+	sg         *SchemaGraph
+	LMin, LMax int
+	// Adj[i] lists successors of node i.
+	Adj [][]int
+}
+
+// Selectivity builds G_sel for the interval [lmin, lmax].
+func (sg *SchemaGraph) Selectivity(lmin, lmax int) *SelectivityGraph {
+	n := len(sg.Nodes)
+	gsel := &SelectivityGraph{sg: sg, LMin: lmin, LMax: lmax, Adj: make([][]int, n)}
+	for s := 0; s < n; s++ {
+		// reach[v] true if v reachable at the current length.
+		reach := make([]bool, n)
+		reach[s] = true
+		marked := make([]bool, n)
+		for l := 0; l <= lmax; l++ {
+			if l >= lmin {
+				for v := 0; v < n; v++ {
+					if reach[v] {
+						marked[v] = true
+					}
+				}
+			}
+			if l == lmax {
+				break
+			}
+			next := make([]bool, n)
+			for v := 0; v < n; v++ {
+				if !reach[v] {
+					continue
+				}
+				for _, e := range sg.Out[v] {
+					next[e.To] = true
+				}
+			}
+			reach = next
+		}
+		for v := 0; v < n; v++ {
+			if marked[v] {
+				gsel.Adj[s] = append(gsel.Adj[s], v)
+			}
+		}
+	}
+	return gsel
+}
+
+// WalkToClass draws, uniformly at random among all candidates, a walk
+// of exactly steps edges in G_sel that starts at an identity node and
+// ends at a node of the requested selectivity class (Section 5.2.4).
+// It returns the node sequence (steps+1 nodes) or false when no such
+// walk exists.
+func (gsel *SelectivityGraph) WalkToClass(rng *rand.Rand, steps int, class query.SelectivityClass) ([]int, bool) {
+	starts := make([]int, 0, gsel.sg.est.NumTypes())
+	for t := 0; t < gsel.sg.est.NumTypes(); t++ {
+		starts = append(starts, gsel.sg.IdentityNode(t))
+	}
+	return gsel.Walk(rng, steps, starts, func(v int) bool { return gsel.sg.ClassOf(v) == class })
+}
+
+// WalkBetween draws a walk of exactly steps edges from a fixed start
+// node to any node satisfying isTarget.
+func (gsel *SelectivityGraph) WalkBetween(rng *rand.Rand, steps, start int, isTarget func(int) bool) ([]int, bool) {
+	return gsel.Walk(rng, steps, []int{start}, isTarget)
+}
+
+// Walk draws, uniformly at random among all candidates, a walk of
+// exactly steps edges in G_sel starting at one of the given start
+// nodes and ending at a node satisfying isTarget. The draw is weighted
+// by the walk-count saturation algorithm of Section 5.2.4.
+func (gsel *SelectivityGraph) Walk(rng *rand.Rand, steps int, startCandidates []int, isTarget func(int) bool) ([]int, bool) {
+	n := len(gsel.sg.Nodes)
+	// nbw[i][v]: number of walks of length i from v ending in a target.
+	nbw := make([][]float64, steps+1)
+	nbw[0] = make([]float64, n)
+	for v := 0; v < n; v++ {
+		if isTarget(v) {
+			nbw[0][v] = 1
+		}
+	}
+	for i := 1; i <= steps; i++ {
+		nbw[i] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			var s float64
+			for _, w := range gsel.Adj[v] {
+				s += nbw[i-1][w]
+			}
+			nbw[i][v] = s
+		}
+	}
+
+	var starts []int
+	var weights []float64
+	var total float64
+	for _, v := range startCandidates {
+		if w := nbw[steps][v]; w > 0 {
+			starts = append(starts, v)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil, false
+	}
+	cur := starts[weightedIndex(rng, weights, total)]
+	walk := []int{cur}
+	for i := steps; i > 0; i-- {
+		var ws []float64
+		var cands []int
+		var t float64
+		for _, w := range gsel.Adj[cur] {
+			if c := nbw[i-1][w]; c > 0 {
+				cands = append(cands, w)
+				ws = append(ws, c)
+				t += c
+			}
+		}
+		if t == 0 {
+			return nil, false
+		}
+		cur = cands[weightedIndex(rng, ws, t)]
+		walk = append(walk, cur)
+	}
+	return walk, true
+}
+
+// weightedIndex draws an index proportionally to weights (sum total).
+func weightedIndex(rng *rand.Rand, weights []float64, total float64) int {
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// CountPathsTo computes, for every length l <= maxLen and every G_S
+// node v, the number of label paths of length l from v ending in a
+// node satisfying isTarget (the nb_path function of Section 5.2.4,
+// float-valued to avoid overflow on long paths).
+func (sg *SchemaGraph) CountPathsTo(isTarget func(int) bool, maxLen int) [][]float64 {
+	n := len(sg.Nodes)
+	cnt := make([][]float64, maxLen+1)
+	cnt[0] = make([]float64, n)
+	for v := 0; v < n; v++ {
+		if isTarget(v) {
+			cnt[0][v] = 1
+		}
+	}
+	for l := 1; l <= maxLen; l++ {
+		cnt[l] = make([]float64, n)
+		for v := 0; v < n; v++ {
+			var s float64
+			for _, e := range sg.Out[v] {
+				s += cnt[l-1][e.To]
+			}
+			cnt[l][v] = s
+		}
+	}
+	return cnt
+}
+
+// SamplePathTo draws a uniform random label path of exactly length
+// edges starting at `from`, weighted by a count table from
+// CountPathsTo. It returns the path and the end node, or false when no
+// such path exists.
+func (sg *SchemaGraph) SamplePathTo(rng *rand.Rand, from, length int, cnt [][]float64) (regpath.Path, int, bool) {
+	if cnt[length][from] == 0 {
+		return nil, -1, false
+	}
+	path := make(regpath.Path, 0, length)
+	cur := from
+	for l := length; l > 0; l-- {
+		var ws []float64
+		var edges []SelEdge
+		var total float64
+		for _, e := range sg.Out[cur] {
+			if c := cnt[l-1][e.To]; c > 0 {
+				edges = append(edges, e)
+				ws = append(ws, c)
+				total += c
+			}
+		}
+		if total == 0 {
+			return nil, -1, false
+		}
+		e := edges[weightedIndex(rng, ws, total)]
+		path = append(path, e.Sym)
+		cur = e.To
+	}
+	return path, cur, true
+}
+
+// SamplePathBetweenSets draws a label path from `from` to any node
+// satisfying isTarget with length in [lmin, lmax], choosing the length
+// proportionally to the number of available paths of each length;
+// false when none exists.
+func (sg *SchemaGraph) SamplePathBetweenSets(rng *rand.Rand, from int, isTarget func(int) bool, lmin, lmax int) (regpath.Path, int, bool) {
+	cnt := sg.CountPathsTo(isTarget, lmax)
+	var lengths []int
+	var ws []float64
+	var total float64
+	for l := lmin; l <= lmax; l++ {
+		if l == 0 {
+			if isTarget(from) {
+				lengths = append(lengths, 0)
+				ws = append(ws, 1)
+				total++
+			}
+			continue
+		}
+		if c := cnt[l][from]; c > 0 {
+			lengths = append(lengths, l)
+			ws = append(ws, c)
+			total += c
+		}
+	}
+	if total == 0 {
+		return nil, -1, false
+	}
+	l := lengths[weightedIndex(rng, ws, total)]
+	if l == 0 {
+		return regpath.Path{}, from, true
+	}
+	return sg.SamplePathTo(rng, from, l, cnt)
+}
+
+// SamplePathBetween draws a label path between two specific G_S nodes
+// with length in [lmin, lmax]. The distance matrix D prunes impossible
+// requests up front (the ablation benchmarks measure its effect).
+func (sg *SchemaGraph) SamplePathBetween(rng *rand.Rand, from, target, lmin, lmax int) (regpath.Path, bool) {
+	if d := sg.Dist[from][target]; d < 0 || d > lmax {
+		return nil, false
+	}
+	p, _, ok := sg.SamplePathBetweenSets(rng, from, func(v int) bool { return v == target }, lmin, lmax)
+	return p, ok
+}

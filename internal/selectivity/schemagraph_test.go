@@ -1,0 +1,281 @@
+package selectivity
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmark/internal/query"
+)
+
+func newSG(t *testing.T) *SchemaGraph {
+	t.Helper()
+	return NewSchemaGraph(newEst(t))
+}
+
+func TestSchemaGraphNodeEnumeration(t *testing.T) {
+	sg := newSG(t)
+	// T1, T2 grow: 1 + 5 = 6 nodes each; T3 fixed: 2 nodes.
+	if got := len(sg.Nodes); got != 14 {
+		t.Errorf("|G_S| = %d, want 14", got)
+	}
+	// Every enumerated triple must be clamp-stable.
+	for _, n := range sg.Nodes {
+		if n.Triple.Clamp() != n.Triple {
+			t.Errorf("node %v not clamp-stable", n)
+		}
+	}
+}
+
+func TestIdentityNodes(t *testing.T) {
+	sg := newSG(t)
+	for tIdx := 0; tIdx < 3; tIdx++ {
+		n := sg.Nodes[sg.IdentityNode(tIdx)]
+		if n.Type != tIdx {
+			t.Errorf("identity node of type %d has type %d", tIdx, n.Type)
+		}
+		if n.Triple.O != OpEq {
+			t.Errorf("identity triple = %v", n.Triple)
+		}
+	}
+}
+
+// TestExample52Edge reproduces the edge discussed in Example 5.2:
+// from (T1,(N,=,N)) an a-labeled edge reaches (T1,(N,<,N)) because
+// (N,=,N) . (N,<,N) = (N,<,N).
+func TestExample52Edge(t *testing.T) {
+	sg := newSG(t)
+	from := sg.NodeIndex(SelNode{Type: 0, Triple: Triple{Many, OpEq, Many}})
+	to := sg.NodeIndex(SelNode{Type: 0, Triple: Triple{Many, OpLess, Many}})
+	if from < 0 || to < 0 {
+		t.Fatal("expected nodes missing")
+	}
+	found := false
+	for _, e := range sg.Out[from] {
+		if e.To == to && e.Sym.Pred == "a" && !e.Sym.Inverse {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing edge (T1,(N,=,N)) -a-> (T1,(N,<,N))")
+	}
+}
+
+func TestNodeIndexMissing(t *testing.T) {
+	sg := newSG(t)
+	if got := sg.NodeIndex(SelNode{Type: 99, Triple: Identity(Many)}); got != -1 {
+		t.Errorf("missing node index = %d", got)
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	sg := newSG(t)
+	n := len(sg.Nodes)
+	for i := 0; i < n; i++ {
+		if sg.Dist[i][i] != 0 {
+			t.Errorf("Dist[%d][%d] = %d", i, i, sg.Dist[i][i])
+		}
+	}
+	// Direct edges have distance 1.
+	for i := 0; i < n; i++ {
+		for _, e := range sg.Out[i] {
+			if e.To != i && sg.Dist[i][e.To] != 1 {
+				t.Errorf("edge %d->%d but Dist=%d", i, e.To, sg.Dist[i][e.To])
+			}
+		}
+	}
+	// Triangle inequality on a sample.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sg.Dist[i][j] < 0 {
+				continue
+			}
+			for _, e := range sg.Out[j] {
+				if d := sg.Dist[i][e.To]; d >= 0 && d > sg.Dist[i][j]+1 {
+					t.Errorf("triangle violated: %d->%d->%d", i, j, e.To)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectivityGraphWindow(t *testing.T) {
+	sg := newSG(t)
+	gsel := sg.Selectivity(1, 2)
+	// Every G_sel edge must be witnessed by a path of length 1 or 2.
+	for from, succs := range gsel.Adj {
+		for _, to := range succs {
+			if d := sg.Dist[from][to]; d < 0 || d > 2 {
+				t.Errorf("G_sel edge %d->%d has shortest distance %d", from, to, d)
+			}
+		}
+	}
+}
+
+func TestSelectivityGraphZeroLength(t *testing.T) {
+	sg := newSG(t)
+	gsel := sg.Selectivity(0, 1)
+	// With lmin=0 every node has a self-loop.
+	for v := range gsel.Adj {
+		found := false
+		for _, w := range gsel.Adj[v] {
+			if w == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %d missing zero-length self-loop", v)
+		}
+	}
+}
+
+func TestWalkToClassEndsInClass(t *testing.T) {
+	sg := newSG(t)
+	gsel := sg.Selectivity(1, 3)
+	rng := rand.New(rand.NewSource(5))
+	for _, class := range []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic} {
+		for steps := 1; steps <= 3; steps++ {
+			walk, ok := gsel.WalkToClass(rng, steps, class)
+			if !ok {
+				continue // not all (steps, class) pairs are satisfiable
+			}
+			if len(walk) != steps+1 {
+				t.Fatalf("walk length %d, want %d", len(walk), steps+1)
+			}
+			if got := sg.ClassOf(walk[len(walk)-1]); got != class {
+				t.Errorf("walk ends in class %v, want %v", got, class)
+			}
+			// The start is an identity node.
+			start := sg.Nodes[walk[0]]
+			if start.Triple.O != OpEq || start.Triple.Left != start.Triple.Right {
+				t.Errorf("walk starts at non-identity node %v", start)
+			}
+			// Consecutive nodes are G_sel neighbors.
+			for i := 0; i+1 < len(walk); i++ {
+				ok := false
+				for _, w := range gsel.Adj[walk[i]] {
+					if w == walk[i+1] {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("walk step %d->%d not a G_sel edge", walk[i], walk[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestWalkToClassQuadraticReachable(t *testing.T) {
+	sg := newSG(t)
+	gsel := sg.Selectivity(1, 2)
+	rng := rand.New(rand.NewSource(6))
+	// a-.a gives x within 2 steps of length <= 2 each.
+	if _, ok := gsel.WalkToClass(rng, 1, query.Quadratic); !ok {
+		t.Error("quadratic should be reachable in one 2-length step (a-.a)")
+	}
+}
+
+func TestWalkZeroSteps(t *testing.T) {
+	sg := newSG(t)
+	gsel := sg.Selectivity(1, 2)
+	rng := rand.New(rand.NewSource(7))
+	// Zero steps: only the identity nodes themselves; T3 is fixed so a
+	// constant walk of zero steps exists (its identity is (1,=,1)).
+	walk, ok := gsel.WalkToClass(rng, 0, query.Constant)
+	if !ok {
+		t.Fatal("zero-step constant walk should exist via T3")
+	}
+	if len(walk) != 1 || sg.Nodes[walk[0]].Type != 2 {
+		t.Errorf("walk = %v", walk)
+	}
+	// Quadratic in zero steps is impossible: identities are never x.
+	if _, ok := gsel.WalkToClass(rng, 0, query.Quadratic); ok {
+		t.Error("zero-step quadratic walk should not exist")
+	}
+}
+
+func TestCountPathsAndSample(t *testing.T) {
+	sg := newSG(t)
+	rng := rand.New(rand.NewSource(8))
+	from := sg.IdentityNode(0) // T1
+	isT2 := func(v int) bool { return sg.Nodes[v].Type == 1 }
+	cnt := sg.CountPathsTo(isT2, 3)
+	// There must be at least one path of length 1 (the b edge).
+	if cnt[1][from] == 0 {
+		t.Fatal("no length-1 path T1 -> T2")
+	}
+	for l := 1; l <= 3; l++ {
+		if cnt[l][from] == 0 {
+			continue
+		}
+		p, end, ok := sg.SamplePathTo(rng, from, l, cnt)
+		if !ok {
+			t.Fatalf("SamplePathTo failed at length %d despite count %g", l, cnt[l][from])
+		}
+		if len(p) != l {
+			t.Fatalf("sampled path length %d, want %d", len(p), l)
+		}
+		if !isT2(end) {
+			t.Fatalf("sampled path ends at type %d", sg.Nodes[end].Type)
+		}
+	}
+}
+
+func TestSamplePathBetween(t *testing.T) {
+	sg := newSG(t)
+	rng := rand.New(rand.NewSource(9))
+	from := sg.NodeIndex(SelNode{Type: 0, Triple: Identity(Many)})
+	to := sg.NodeIndex(SelNode{Type: 0, Triple: Triple{Many, OpCross, Many}})
+	p, ok := sg.SamplePathBetween(rng, from, to, 1, 2)
+	if !ok {
+		t.Fatal("a-.a reaches (T1,(N,x,N)) in 2 steps")
+	}
+	if len(p) < 1 || len(p) > 2 {
+		t.Fatalf("path length %d", len(p))
+	}
+	// Distance-pruned impossible request.
+	if _, ok := sg.SamplePathBetween(rng, from, to, 1, 1); ok {
+		t.Error("x is not reachable from identity in one symbol")
+	}
+}
+
+func TestSamplePathRespectsWindow(t *testing.T) {
+	sg := newSG(t)
+	rng := rand.New(rand.NewSource(10))
+	from := sg.IdentityNode(0)
+	any := func(int) bool { return true }
+	for i := 0; i < 50; i++ {
+		p, _, ok := sg.SamplePathBetweenSets(rng, from, any, 2, 3)
+		if !ok {
+			t.Fatal("sampling failed")
+		}
+		if len(p) < 2 || len(p) > 3 {
+			t.Fatalf("length %d outside [2,3]", len(p))
+		}
+	}
+}
+
+func TestAlphaOfSchemaGraphNodes(t *testing.T) {
+	sg := newSG(t)
+	for i, n := range sg.Nodes {
+		want := n.Triple.Alpha()
+		if got := sg.Alpha(i); got != want {
+			t.Errorf("Alpha(%v) = %d, want %d", n, got, want)
+		}
+		class := sg.ClassOf(i)
+		switch want {
+		case 0:
+			if class != query.Constant {
+				t.Errorf("class of %v = %v", n, class)
+			}
+		case 2:
+			if class != query.Quadratic {
+				t.Errorf("class of %v = %v", n, class)
+			}
+		default:
+			if class != query.Linear {
+				t.Errorf("class of %v = %v", n, class)
+			}
+		}
+	}
+}

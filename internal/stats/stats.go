@@ -1,0 +1,114 @@
+// Package stats provides the statistical helpers used by the
+// experiment harness: the log-log linear regression that estimates the
+// selectivity exponent alpha in |Q(G)| = beta * |G|^alpha
+// (paper, Section 6.2), and the outlier-discarding averaging protocol
+// of Section 7.1.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LinearRegression fits y = a + b*x by least squares and returns the
+// intercept a and slope b. It requires at least two points; with fewer
+// it returns (NaN, NaN).
+func LinearRegression(xs, ys []float64) (intercept, slope float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return intercept, slope
+}
+
+// AlphaFromCounts estimates alpha by regressing log|Q(G)| on log|G|
+// over (graph size, result count) observations. Zero counts contribute
+// log(1) (the paper's protocol measures counts on instances large
+// enough to be non-empty; clamping keeps empty classes finite).
+func AlphaFromCounts(sizes []int, counts []int64) float64 {
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(counts))
+	for i := range sizes {
+		xs[i] = math.Log(float64(sizes[i]))
+		c := counts[i]
+		if c < 1 {
+			c = 1
+		}
+		ys[i] = math.Log(float64(c))
+	}
+	_, slope := LinearRegression(xs, ys)
+	return slope
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// points).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MeanStd returns both moments.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// TrimmedMean implements the warm-run protocol of Section 7.1: sort
+// the observations, drop the fastest and slowest, and average the
+// rest. With fewer than three observations it falls back to the plain
+// mean.
+func TrimmedMean(xs []float64) float64 {
+	if len(xs) < 3 {
+		return Mean(xs)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Mean(s[1 : len(s)-1])
+}
+
+// DiscardFarthest implements the outlier rule of Section 7.2: discard
+// the k observations farthest (in absolute distance) from the overall
+// mean, and return the mean of the rest.
+func DiscardFarthest(xs []float64, k int) float64 {
+	if k <= 0 || len(xs) <= k {
+		return Mean(xs)
+	}
+	m := Mean(xs)
+	s := append([]float64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool {
+		return math.Abs(s[i]-m) < math.Abs(s[j]-m)
+	})
+	return Mean(s[:len(s)-k])
+}

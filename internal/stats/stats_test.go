@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionExact(t *testing.T) {
+	// y = 2 + 3x.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{2, 5, 8, 11, 14}
+	a, b := LinearRegression(xs, ys)
+	if math.Abs(a-2) > 1e-12 || math.Abs(b-3) > 1e-12 {
+		t.Errorf("fit = (%g, %g), want (2, 3)", a, b)
+	}
+}
+
+func TestLinearRegressionDegenerate(t *testing.T) {
+	if a, b := LinearRegression([]float64{1}, []float64{2}); !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Error("single point should be NaN")
+	}
+	if a, b := LinearRegression([]float64{1, 2}, []float64{2}); !math.IsNaN(a) || !math.IsNaN(b) {
+		t.Error("mismatched lengths should be NaN")
+	}
+	// All x equal: vertical line.
+	if _, b := LinearRegression([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(b) {
+		t.Error("vertical line should be NaN")
+	}
+}
+
+func TestAlphaFromCountsRecovers(t *testing.T) {
+	sizes := []int{1000, 2000, 4000, 8000, 16000}
+	for _, alpha := range []float64{0, 0.5, 1, 1.7, 2} {
+		beta := 0.03
+		counts := make([]int64, len(sizes))
+		for i, n := range sizes {
+			counts[i] = int64(beta * math.Pow(float64(n), alpha))
+		}
+		got := AlphaFromCounts(sizes, counts)
+		// Small alpha with tiny beta truncates to zero counts; the
+		// clamp keeps the estimate near zero.
+		tol := 0.1
+		if alpha < 0.5 {
+			tol = 0.3
+		}
+		if math.Abs(got-alpha) > tol {
+			t.Errorf("alpha %g recovered as %g", alpha, got)
+		}
+	}
+}
+
+func TestAlphaFromCountsZeroClamped(t *testing.T) {
+	got := AlphaFromCounts([]int{100, 200, 400}, []int64{0, 0, 0})
+	if got != 0 {
+		t.Errorf("all-zero counts should fit alpha 0, got %g", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, s := MeanStd(xs)
+	if m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s-2.138) > 0.01 {
+		t.Errorf("std = %g", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-point std should be 0")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	// Drops 1 and 100, averages 10, 20, 30.
+	xs := []float64{100, 10, 20, 1, 30}
+	if got := TrimmedMean(xs); got != 20 {
+		t.Errorf("trimmed mean = %g", got)
+	}
+	// Fewer than 3: plain mean.
+	if got := TrimmedMean([]float64{4, 8}); got != 6 {
+		t.Errorf("short trimmed mean = %g", got)
+	}
+}
+
+func TestDiscardFarthest(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 1000}
+	got := DiscardFarthest(xs, 1)
+	if math.Abs(got-10) > 0.01 {
+		t.Errorf("discard-1 mean = %g", got)
+	}
+	// k=0 or k >= len: plain mean.
+	if DiscardFarthest(xs, 0) != Mean(xs) {
+		t.Error("k=0 should be plain mean")
+	}
+	if DiscardFarthest(xs, 5) != Mean(xs) {
+		t.Error("k>=len should be plain mean")
+	}
+}
+
+// Property: the regression residual gradient is zero — verified by
+// checking the fit is invariant when recovering from generated lines.
+func TestQuickRegressionRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func(aRaw, bRaw int8) bool {
+		a := float64(aRaw) / 4
+		b := float64(bRaw) / 4
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64(i) + r.Float64()*0.01
+			ys[i] = a + b*xs[i]
+		}
+		ga, gb := LinearRegression(xs, ys)
+		return math.Abs(ga-a) < 0.05 && math.Abs(gb-b) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TrimmedMean is bounded by the min and max of the input.
+func TestQuickTrimmedMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := TrimmedMean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// maxCypherExpansions caps the cartesian expansion of multi-symbol
+// disjunctions into UNION branches.
+const maxCypherExpansions = 16
+
+// ToOpenCypher renders the query in openCypher. Since openCypher has
+// no general regular path expressions, disjunctions of multi-symbol
+// paths are expanded into UNION branches (capped; beyond the cap only
+// the first disjunct is kept), and starred sub-expressions keep only
+// the first non-inverse symbol of their first disjunct — the
+// restriction discussed in Section 7.1, which makes recursive Cypher
+// queries incomparable to the other syntaxes.
+func ToOpenCypher(q *query.Query, opt Options) (string, error) {
+	var ret string
+	switch {
+	case q.Arity() == 0:
+		ret = "RETURN DISTINCT true AS result"
+	case opt.Count:
+		ret = fmt.Sprintf("RETURN count(DISTINCT [%s]) AS cnt", headList(q.Rules[0].Head, "", ", "))
+	default:
+		ret = "RETURN DISTINCT " + headList(q.Rules[0].Head, "", ", ")
+	}
+
+	var branches []string
+	for _, r := range q.Rules {
+		// Each conjunct contributes a list of alternative pattern
+		// fragments; the rule expands to their cartesian product.
+		alts := make([][]string, len(r.Body))
+		for i, c := range r.Body {
+			frags, err := cypherConjunctAlternatives(c)
+			if err != nil {
+				return "", err
+			}
+			alts[i] = frags
+		}
+		for _, combo := range boundedProduct(alts, maxCypherExpansions) {
+			branches = append(branches, "MATCH "+strings.Join(combo, ", ")+"\n"+ret)
+		}
+	}
+	return strings.Join(branches, "\nUNION\n") + "\n", nil
+}
+
+// boundedProduct enumerates the cartesian product of the alternative
+// lists, stopping after limit combinations.
+func boundedProduct(alts [][]string, limit int) [][]string {
+	out := [][]string{nil}
+	for _, options := range alts {
+		var next [][]string
+		for _, prefix := range out {
+			for _, o := range options {
+				combo := append(append([]string(nil), prefix...), o)
+				next = append(next, combo)
+				if len(next) >= limit {
+					break
+				}
+			}
+			if len(next) >= limit {
+				break
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// cypherConjunctAlternatives renders one conjunct as one or more
+// alternative MATCH pattern fragments.
+func cypherConjunctAlternatives(c query.Conjunct) ([]string, error) {
+	src, dst := varName(c.Src), varName(c.Dst)
+	e := c.Expr
+
+	if e.Star {
+		// Restriction: only a single non-inverse label survives under
+		// the star.
+		label := starLabel(e)
+		if label == "" {
+			return nil, fmt.Errorf("translate: starred expression %s has no usable label for openCypher", e)
+		}
+		return []string{fmt.Sprintf("(%s)-[:%s*0..]->(%s)", src, label, dst)}, nil
+	}
+
+	// All disjuncts single forward symbols: use the [:a|b] form.
+	if allSingleForward(e) {
+		labels := make([]string, len(e.Paths))
+		for i, p := range e.Paths {
+			labels[i] = p[0].Pred
+		}
+		return []string{fmt.Sprintf("(%s)-[:%s]->(%s)", src, strings.Join(labels, "|"), dst)}, nil
+	}
+
+	// General case: one pattern fragment per disjunct.
+	var frags []string
+	for di, p := range e.Paths {
+		if len(p) == 0 {
+			// Epsilon: bind both variables to the same node.
+			frags = append(frags, fmt.Sprintf("(%s), (%s) WHERE %s = %s", src, dst, src, dst))
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%s)", src)
+		for si, s := range p {
+			endName := dst
+			if si < len(p)-1 {
+				endName = fmt.Sprintf("%s_%s_h%d_%d", src, dst, di, si)
+			}
+			if s.Inverse {
+				fmt.Fprintf(&b, "<-[:%s]-(%s)", s.Pred, endName)
+			} else {
+				fmt.Fprintf(&b, "-[:%s]->(%s)", s.Pred, endName)
+			}
+		}
+		frags = append(frags, b.String())
+	}
+	return frags, nil
+}
+
+// starLabel picks the first non-inverse symbol of the first disjunct;
+// if every symbol is inverse, the first symbol's predicate is used
+// without the inverse (the translation is lossy either way).
+func starLabel(e regpath.Expr) string {
+	for _, p := range e.Paths {
+		for _, s := range p {
+			if !s.Inverse {
+				return s.Pred
+			}
+		}
+	}
+	for _, p := range e.Paths {
+		if len(p) > 0 {
+			return p[0].Pred
+		}
+	}
+	return ""
+}
+
+func allSingleForward(e regpath.Expr) bool {
+	for _, p := range e.Paths {
+		if len(p) != 1 || p[0].Inverse {
+			return false
+		}
+	}
+	return len(e.Paths) > 0
+}

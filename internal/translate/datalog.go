@@ -1,0 +1,124 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// ToDatalog renders the query as a Datalog program over one EDB
+// predicate per edge label (a(X,Y) holds for each a-labeled edge
+// X -> Y) plus node(X) for the active domain. Starred conjuncts use
+// the classical linear-recursive encoding.
+func ToDatalog(q *query.Query, opt Options) (string, error) {
+	var b strings.Builder
+	b.WriteString("% UCRPQ translated to Datalog by gmark\n")
+
+	fresh := 0
+	freshVar := func() string {
+		fresh++
+		return fmt.Sprintf("Z%d", fresh)
+	}
+
+	cteID := 0
+	for _, r := range q.Rules {
+		var bodyAtoms []string
+		for _, c := range r.Body {
+			name := fmt.Sprintf("p%d", cteID)
+			cteID++
+			// Disjunct rules for the one-step relation.
+			stepName := name
+			if c.Expr.Star {
+				stepName = name + "_step"
+			}
+			for _, p := range c.Expr.Paths {
+				atoms := datalogPathAtoms(p, "X", "Y", freshVar)
+				fmt.Fprintf(&b, "%s(X, Y) :- %s.\n", stepName, strings.Join(atoms, ", "))
+			}
+			if c.Expr.Star {
+				// Zero-length paths over the star's active domain:
+				// nodes that can start some disjunct (an outgoing
+				// first-symbol edge) or end one (an incoming
+				// last-symbol edge) — the same rule the evaluator and
+				// the engines use.
+				for _, fact := range starDomainAtoms(c.Expr) {
+					fmt.Fprintf(&b, "%s(X, X) :- %s.\n", name, fact)
+				}
+				fmt.Fprintf(&b, "%s(X, Y) :- %s(X, Z), %s(Z, Y).\n", name, name, stepName)
+			}
+			bodyAtoms = append(bodyAtoms, fmt.Sprintf("%s(X%d, X%d)", name, int(c.Src), int(c.Dst)))
+		}
+		headVars := make([]string, len(r.Head))
+		for i, v := range r.Head {
+			headVars[i] = "X" + fmt.Sprint(int(v))
+		}
+		head := "ans"
+		if len(headVars) > 0 {
+			head = fmt.Sprintf("ans(%s)", strings.Join(headVars, ", "))
+		}
+		fmt.Fprintf(&b, "%s :- %s.\n", head, strings.Join(bodyAtoms, ", "))
+	}
+	if opt.Count {
+		b.WriteString("% result: count(distinct ans)\n")
+	}
+	return b.String(), nil
+}
+
+// starDomainAtoms renders the active-domain membership conditions of
+// a starred expression as EDB atoms over X, deduplicated: for each
+// non-empty disjunct, an outgoing first-symbol edge or an incoming
+// last-symbol edge.
+func starDomainAtoms(e regpath.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(atom string) {
+		if !seen[atom] {
+			seen[atom] = true
+			out = append(out, atom)
+		}
+	}
+	for _, p := range e.Paths {
+		if len(p) == 0 {
+			continue
+		}
+		first, last := p[0], p[len(p)-1]
+		// Outgoing first-symbol edge at X.
+		if first.Inverse {
+			add(fmt.Sprintf("%s(_, X)", first.Pred))
+		} else {
+			add(fmt.Sprintf("%s(X, _)", first.Pred))
+		}
+		// Incoming last-symbol edge at X.
+		if last.Inverse {
+			add(fmt.Sprintf("%s(X, _)", last.Pred))
+		} else {
+			add(fmt.Sprintf("%s(_, X)", last.Pred))
+		}
+	}
+	return out
+}
+
+// datalogPathAtoms renders one path as a chain of EDB atoms between
+// the given endpoint variables. The empty path is node(X), X = Y.
+func datalogPathAtoms(p regpath.Path, srcVar, dstVar string, freshVar func() string) []string {
+	if len(p) == 0 {
+		return []string{fmt.Sprintf("node(%s)", srcVar), fmt.Sprintf("%s = %s", srcVar, dstVar)}
+	}
+	var atoms []string
+	cur := srcVar
+	for i, s := range p {
+		next := dstVar
+		if i < len(p)-1 {
+			next = freshVar()
+		}
+		if s.Inverse {
+			atoms = append(atoms, fmt.Sprintf("%s(%s, %s)", s.Pred, next, cur))
+		} else {
+			atoms = append(atoms, fmt.Sprintf("%s(%s, %s)", s.Pred, cur, next))
+		}
+		cur = next
+	}
+	return atoms
+}

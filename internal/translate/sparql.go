@@ -1,0 +1,135 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// ToSPARQL renders the query in SPARQL 1.1, with regular path
+// expressions as property paths. Rules become UNION blocks; Boolean
+// queries become ASK.
+func ToSPARQL(q *query.Query, opt Options) (string, error) {
+	var blocks []string
+	for _, r := range q.Rules {
+		var pats []string
+		for _, c := range r.Body {
+			pat, err := sparqlConjunct(c)
+			if err != nil {
+				return "", err
+			}
+			pats = append(pats, pat)
+		}
+		blocks = append(blocks, "  { "+strings.Join(pats, " ")+" }")
+	}
+	body := strings.Join(blocks, "\n  UNION\n")
+
+	var b strings.Builder
+	b.WriteString("PREFIX : <http://gmark.example.org/pred/>\n")
+	switch {
+	case q.Arity() == 0:
+		b.WriteString("ASK\nWHERE {\n")
+	case opt.Count:
+		fmt.Fprintf(&b, "SELECT (COUNT(DISTINCT *) AS ?cnt)\nWHERE {\n")
+	default:
+		fmt.Fprintf(&b, "SELECT DISTINCT %s\nWHERE {\n", headList(q.Rules[0].Head, "?", " "))
+	}
+	b.WriteString(body)
+	b.WriteString("\n}\n")
+	if q.Arity() > 0 && opt.Count {
+		// COUNT(DISTINCT *) counts distinct bindings of all variables;
+		// restrict the visible variables with an inner SELECT.
+		inner := fmt.Sprintf("SELECT DISTINCT %s\nWHERE {\n%s\n}", headList(q.Rules[0].Head, "?", " "), body)
+		b.Reset()
+		b.WriteString("PREFIX : <http://gmark.example.org/pred/>\n")
+		b.WriteString("SELECT (COUNT(*) AS ?cnt)\nWHERE {\n  {\n")
+		for _, line := range strings.Split(inner, "\n") {
+			b.WriteString("    " + line + "\n")
+		}
+		b.WriteString("  }\n}\n")
+	}
+	return b.String(), nil
+}
+
+// sparqlConjunct renders one conjunct as a triple pattern with a
+// property path, or a FILTER for a pure-epsilon expression.
+func sparqlConjunct(c query.Conjunct) (string, error) {
+	path, kind, err := sparqlPathExpr(c.Expr)
+	if err != nil {
+		return "", err
+	}
+	src, dst := "?"+varName(c.Src), "?"+varName(c.Dst)
+	switch kind {
+	case pathEmpty:
+		// The expression denotes only the empty word: variable
+		// equality.
+		return fmt.Sprintf("FILTER(%s = %s) .", src, dst), nil
+	default:
+		return fmt.Sprintf("%s %s %s .", src, path, dst), nil
+	}
+}
+
+type sparqlPathKind int
+
+const (
+	pathNormal sparqlPathKind = iota
+	pathEmpty                 // epsilon only
+)
+
+// sparqlPathExpr renders a regular path expression as a SPARQL 1.1
+// property path.
+func sparqlPathExpr(e regpath.Expr) (string, sparqlPathKind, error) {
+	var alts []string
+	hasEps := false
+	for _, p := range e.Paths {
+		if len(p) == 0 {
+			hasEps = true
+			continue
+		}
+		alts = append(alts, sparqlPath(p))
+	}
+	if len(alts) == 0 {
+		if e.Star {
+			// (eps)* == eps.
+			return "", pathEmpty, nil
+		}
+		return "", pathEmpty, nil
+	}
+	body := strings.Join(alts, "|")
+	wrapped := body
+	if len(alts) > 1 {
+		wrapped = "(" + body + ")"
+	}
+	switch {
+	case e.Star:
+		// Star subsumes the epsilon disjunct.
+		if len(alts) > 1 {
+			return wrapped + "*", pathNormal, nil
+		}
+		return "(" + body + ")*", pathNormal, nil
+	case hasEps:
+		if len(alts) > 1 {
+			return wrapped + "?", pathNormal, nil
+		}
+		return "(" + body + ")?", pathNormal, nil
+	default:
+		return wrapped, pathNormal, nil
+	}
+}
+
+func sparqlPath(p regpath.Path) string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		if s.Inverse {
+			parts[i] = "^:" + s.Pred
+		} else {
+			parts[i] = ":" + s.Pred
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, "/") + ")"
+}

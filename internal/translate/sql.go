@@ -1,0 +1,181 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+)
+
+// ToPostgreSQL renders the query as PostgreSQL SQL over the relations
+//
+//	edge(src INTEGER, label TEXT, trg INTEGER)
+//	node(id INTEGER)
+//
+// using the standard translation of UCRPQs into SQL:1999 recursive
+// views with linear recursion (paper, Section 7.1): each conjunct
+// becomes a CTE whose body is the union of its disjunct path joins;
+// starred conjuncts become WITH RECURSIVE CTEs seeded with the
+// identity relation.
+func ToPostgreSQL(q *query.Query, opt Options) (string, error) {
+	var ctes []string
+	needsRecursive := false
+	var ruleSelects []string
+
+	cteID := 0
+	for _, r := range q.Rules {
+		var fromParts []string
+		var whereParts []string
+		varSource := map[query.Var]string{}
+
+		for _, c := range r.Body {
+			name := fmt.Sprintf("c%d", cteID)
+			cteID++
+			body, err := sqlConjunctBody(c.Expr)
+			if err != nil {
+				return "", err
+			}
+			if c.Expr.Star {
+				needsRecursive = true
+				step := name + "_step"
+				ctes = append(ctes, fmt.Sprintf("%s(src, trg) AS (\n%s\n)", step, indent(body, 2)))
+				// The zero-length path matches the star's active
+				// domain: nodes with an outgoing first-symbol edge or
+				// an incoming last-symbol edge of some disjunct — the
+				// same rule the evaluator and the engines use.
+				seed := fmt.Sprintf("SELECT n, n FROM (%s) dom", strings.Join(sqlDomainSelects(c.Expr), " UNION "))
+				rec := fmt.Sprintf("%s(src, trg) AS (\n  %s\n  UNION\n  SELECT r.src, s.trg FROM %s r JOIN %s s ON r.trg = s.src\n)",
+					name, seed, name, step)
+				ctes = append(ctes, rec)
+			} else {
+				ctes = append(ctes, fmt.Sprintf("%s(src, trg) AS (\n%s\n)", name, indent(body, 2)))
+			}
+			alias := name + "_t"
+			fromParts = append(fromParts, fmt.Sprintf("%s AS %s", name, alias))
+			for v, col := range map[query.Var]string{c.Src: alias + ".src", c.Dst: alias + ".trg"} {
+				if prev, ok := varSource[v]; ok {
+					whereParts = append(whereParts, fmt.Sprintf("%s = %s", prev, col))
+				} else {
+					varSource[v] = col
+				}
+			}
+		}
+
+		var sel string
+		if len(r.Head) == 0 {
+			sel = "SELECT 1"
+		} else {
+			cols := make([]string, len(r.Head))
+			for i, v := range r.Head {
+				cols[i] = fmt.Sprintf("%s AS %s", varSource[v], varName(v))
+			}
+			sel = "SELECT DISTINCT " + strings.Join(cols, ", ")
+		}
+		stmt := sel + "\nFROM " + strings.Join(fromParts, ", ")
+		if len(whereParts) > 0 {
+			stmt += "\nWHERE " + strings.Join(whereParts, " AND ")
+		}
+		ruleSelects = append(ruleSelects, stmt)
+	}
+
+	union := strings.Join(ruleSelects, "\nUNION\n")
+	var b strings.Builder
+	if len(ctes) > 0 {
+		kw := "WITH "
+		if needsRecursive {
+			kw = "WITH RECURSIVE "
+		}
+		b.WriteString(kw + strings.Join(ctes, ",\n") + "\n")
+	}
+	switch {
+	case opt.Count && q.Arity() > 0:
+		fmt.Fprintf(&b, "SELECT COUNT(*) AS cnt FROM (\n%s\n) AS result;\n", indent(union, 2))
+	case q.Arity() == 0:
+		fmt.Fprintf(&b, "SELECT EXISTS (\n%s\n) AS result;\n", indent(union, 2))
+	default:
+		b.WriteString(union + ";\n")
+	}
+	return b.String(), nil
+}
+
+// sqlConjunctBody renders the non-starred part of a conjunct: the
+// UNION of its disjunct path joins over the edge table.
+func sqlConjunctBody(e regpath.Expr) (string, error) {
+	var alts []string
+	for _, p := range e.Paths {
+		alts = append(alts, sqlPathSelect(p))
+	}
+	return strings.Join(alts, "\nUNION\n"), nil
+}
+
+// sqlPathSelect renders one path as a join chain over edge; the empty
+// path is the identity over node.
+func sqlPathSelect(p regpath.Path) string {
+	if len(p) == 0 {
+		return "SELECT id AS src, id AS trg FROM node"
+	}
+	var from []string
+	var where []string
+	// hop columns: hop i goes from point i to point i+1.
+	startCol := make([]string, len(p))
+	endCol := make([]string, len(p))
+	for i, s := range p {
+		alias := fmt.Sprintf("e%d", i)
+		from = append(from, "edge "+alias)
+		where = append(where, fmt.Sprintf("%s.label = '%s'", alias, s.Pred))
+		if s.Inverse {
+			startCol[i] = alias + ".trg"
+			endCol[i] = alias + ".src"
+		} else {
+			startCol[i] = alias + ".src"
+			endCol[i] = alias + ".trg"
+		}
+	}
+	for i := 1; i < len(p); i++ {
+		where = append(where, fmt.Sprintf("%s = %s", endCol[i-1], startCol[i]))
+	}
+	return fmt.Sprintf("SELECT %s AS src, %s AS trg FROM %s WHERE %s",
+		startCol[0], endCol[len(p)-1], strings.Join(from, ", "), strings.Join(where, " AND "))
+}
+
+// sqlDomainSelects renders the star's active-domain membership as
+// edge-table selects, deduplicated: per non-empty disjunct, the
+// outgoing first-symbol side and the incoming last-symbol side.
+func sqlDomainSelects(e regpath.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(col, label string) {
+		sel := fmt.Sprintf("SELECT %s AS n FROM edge WHERE label = '%s'", col, label)
+		if !seen[sel] {
+			seen[sel] = true
+			out = append(out, sel)
+		}
+	}
+	for _, p := range e.Paths {
+		if len(p) == 0 {
+			continue
+		}
+		first, last := p[0], p[len(p)-1]
+		if first.Inverse {
+			add("trg", first.Pred)
+		} else {
+			add("src", first.Pred)
+		}
+		if last.Inverse {
+			add("src", last.Pred)
+		} else {
+			add("trg", last.Pred)
+		}
+	}
+	return out
+}
+
+func indent(s string, n int) string {
+	pad := strings.Repeat(" ", n)
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

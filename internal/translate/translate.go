@@ -1,0 +1,73 @@
+// Package translate renders gMark's UCRPQ queries into the four
+// concrete syntaxes of Fig. 1: SPARQL 1.1, openCypher, PostgreSQL SQL
+// (SQL:1999 recursive views, via the standard linear-recursion
+// translation) and Datalog.
+//
+// The openCypher translator implements the documented restriction of
+// Section 7.1: openCypher cannot express inverse or concatenation
+// under a Kleene star, so starred sub-expressions keep only the first
+// non-inverse symbol of their first disjunct; recursive openCypher
+// queries therefore generally compute different answers than the other
+// syntaxes.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/query"
+)
+
+// Syntax names one supported output language.
+type Syntax string
+
+// The supported syntaxes.
+const (
+	SPARQL     Syntax = "sparql"
+	OpenCypher Syntax = "cypher"
+	PostgreSQL Syntax = "sql"
+	Datalog    Syntax = "datalog"
+)
+
+// Syntaxes lists all supported output syntaxes.
+var Syntaxes = []Syntax{SPARQL, OpenCypher, PostgreSQL, Datalog}
+
+// Options adjusts the rendered query.
+type Options struct {
+	// Count wraps the query in the count(distinct(v)) aggregate used by
+	// the paper's measurement protocol (Section 7.1) to avoid measuring
+	// result printing.
+	Count bool
+}
+
+// To renders the query in the named syntax.
+func To(s Syntax, q *query.Query, opt Options) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	switch s {
+	case SPARQL:
+		return ToSPARQL(q, opt)
+	case OpenCypher:
+		return ToOpenCypher(q, opt)
+	case PostgreSQL:
+		return ToPostgreSQL(q, opt)
+	case Datalog:
+		return ToDatalog(q, opt)
+	default:
+		return "", fmt.Errorf("translate: unknown syntax %q", s)
+	}
+}
+
+// varName renders a query variable for languages with identifier-style
+// variables.
+func varName(v query.Var) string { return fmt.Sprintf("x%d", int(v)) }
+
+// headList renders "?x0 ?x1 ..." style lists with a prefix.
+func headList(head []query.Var, prefix, sep string) string {
+	parts := make([]string, len(head))
+	for i, v := range head {
+		parts[i] = prefix + varName(v)
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,284 @@
+// Package usecases provides the four graph configurations used in the
+// paper's empirical study (Section 6.1): the default bibliographical
+// scenario Bib (the motivating example of Fig. 2), and gMark encodings
+// of the schemas of the LDBC Social Network Benchmark (LSN),
+// SP2Bench (SP) and WatDiv (WD).
+//
+// Exactly as in the paper, the encodings keep each benchmark's node
+// types, edge labels, occurrence constraints and degree distributions,
+// and drop features gMark cannot express (subtyping, hard-coded
+// correlations). WD is markedly denser than the other scenarios,
+// matching the observation of Section 6.2 that WD instances have up to
+// two orders of magnitude more edges than Bib instances with the same
+// number of nodes.
+package usecases
+
+import (
+	"fmt"
+	"strings"
+
+	"gmark/internal/dist"
+	"gmark/internal/query"
+	"gmark/internal/querygen"
+	"gmark/internal/schema"
+)
+
+// Names lists the available use cases.
+var Names = []string{"bib", "lsn", "sp", "wd"}
+
+// ByName returns the configuration of the named use case for a graph
+// of n nodes.
+func ByName(name string, n int) (*schema.GraphConfig, error) {
+	switch strings.ToLower(name) {
+	case "bib":
+		return Bib(n), nil
+	case "lsn":
+		return LSN(n), nil
+	case "sp":
+		return SP(n), nil
+	case "wd":
+		return WD(n), nil
+	}
+	return nil, fmt.Errorf("usecases: unknown use case %q (have %s)", name, strings.Join(Names, ", "))
+}
+
+// Bib is the bibliographical motivating example of Section 3.1 /
+// Fig. 2: researchers author papers, published in conferences (held in
+// cities) and possibly extended to journals. Half the nodes are
+// researchers; the number of cities is fixed at 100.
+func Bib(n int) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "researcher", Occurrence: schema.Proportion(0.50)},
+				{Name: "paper", Occurrence: schema.Proportion(0.30)},
+				{Name: "journal", Occurrence: schema.Proportion(0.10)},
+				{Name: "conference", Occurrence: schema.Proportion(0.10)},
+				{Name: "city", Occurrence: schema.Fixed(100)},
+			},
+			Predicates: []schema.Predicate{
+				{Name: "authors", Occurrence: schema.Proportion(0.50)},
+				{Name: "publishedIn", Occurrence: schema.Proportion(0.30)},
+				{Name: "heldIn", Occurrence: schema.Proportion(0.10)},
+				{Name: "extendedTo", Occurrence: schema.Proportion(0.10)},
+			},
+			Constraints: []schema.EdgeConstraint{
+				// The number of authors on a paper is Gaussian; the
+				// number of papers per researcher is Zipfian (Fig. 2c).
+				{Source: "researcher", Target: "paper", Predicate: "authors",
+					In: dist.NewGaussian(3, 1), Out: dist.NewZipfian(2.5)},
+				// A paper is published in exactly one conference.
+				{Source: "paper", Target: "conference", Predicate: "publishedIn",
+					In: dist.NewGaussian(3, 1), Out: dist.NewUniform(1, 1)},
+				// A paper may or may not be extended to a journal.
+				{Source: "paper", Target: "journal", Predicate: "extendedTo",
+					In: dist.NewGaussian(1.5, 0.5), Out: dist.NewUniform(0, 1)},
+				// A conference is held in exactly one city; conferences
+				// per city follow a Zipfian.
+				{Source: "conference", Target: "city", Predicate: "heldIn",
+					In: dist.NewZipfian(1.2), Out: dist.NewUniform(1, 1)},
+			},
+		},
+	}
+}
+
+// LSN encodes the LDBC Social Network Benchmark schema: persons know
+// each other (power-law both ways), join forums containing posts and
+// comments, and tag content.
+func LSN(n int) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "person", Occurrence: schema.Proportion(0.25)},
+				{Name: "forum", Occurrence: schema.Proportion(0.10)},
+				{Name: "post", Occurrence: schema.Proportion(0.30)},
+				{Name: "comment", Occurrence: schema.Proportion(0.25)},
+				{Name: "tag", Occurrence: schema.Proportion(0.10)},
+				{Name: "country", Occurrence: schema.Fixed(25)},
+				{Name: "university", Occurrence: schema.Fixed(50)},
+			},
+			Predicates: []schema.Predicate{
+				{Name: "knows", Occurrence: schema.Proportion(0.30)},
+				{Name: "hasMember", Occurrence: schema.Proportion(0.15)},
+				{Name: "containerOf", Occurrence: schema.Proportion(0.10)},
+				{Name: "hasCreator", Occurrence: schema.Proportion(0.20)},
+				{Name: "replyOf", Occurrence: schema.Proportion(0.10)},
+				{Name: "hasTag", Occurrence: schema.Proportion(0.05)},
+				{Name: "hasInterest", Occurrence: schema.Proportion(0.05)},
+				{Name: "isLocatedIn", Occurrence: schema.Proportion(0.03)},
+				{Name: "studyAt", Occurrence: schema.Proportion(0.02)},
+			},
+			Constraints: []schema.EdgeConstraint{
+				// The friendship graph is power-law in both directions:
+				// the quadratic chokepoint of the paper's Section 5.2.1.
+				{Source: "person", Target: "person", Predicate: "knows",
+					In: dist.NewZipfian(1.7), Out: dist.NewZipfian(1.7)},
+				{Source: "forum", Target: "person", Predicate: "hasMember",
+					In: dist.NewGaussian(2, 1), Out: dist.NewZipfian(1.6)},
+				{Source: "forum", Target: "post", Predicate: "containerOf",
+					In: dist.NewUniform(1, 1), Out: dist.NewZipfian(1.5)},
+				{Source: "post", Target: "person", Predicate: "hasCreator",
+					In: dist.NewZipfian(1.8), Out: dist.NewUniform(1, 1)},
+				{Source: "comment", Target: "person", Predicate: "hasCreator",
+					In: dist.NewZipfian(1.8), Out: dist.NewUniform(1, 1)},
+				{Source: "comment", Target: "post", Predicate: "replyOf",
+					In: dist.NewZipfian(1.6), Out: dist.NewUniform(1, 1)},
+				{Source: "post", Target: "tag", Predicate: "hasTag",
+					In: dist.NewZipfian(1.4), Out: dist.NewUniform(0, 2)},
+				{Source: "person", Target: "tag", Predicate: "hasInterest",
+					In: dist.NewZipfian(1.4), Out: dist.NewGaussian(3, 1)},
+				{Source: "person", Target: "country", Predicate: "isLocatedIn",
+					In: dist.Unspecified(), Out: dist.NewUniform(1, 1)},
+				{Source: "person", Target: "university", Predicate: "studyAt",
+					In: dist.Unspecified(), Out: dist.NewUniform(0, 1)},
+			},
+		},
+	}
+}
+
+// SP encodes the DBLP-based SP2Bench schema: persons create articles
+// and inproceedings; articles appear in journals (a slowly-growing,
+// effectively fixed population) and cite each other.
+func SP(n int) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "person", Occurrence: schema.Proportion(0.40)},
+				{Name: "article", Occurrence: schema.Proportion(0.25)},
+				{Name: "inproceedings", Occurrence: schema.Proportion(0.15)},
+				{Name: "proceedings", Occurrence: schema.Proportion(0.12)},
+				{Name: "incollection", Occurrence: schema.Proportion(0.08)},
+				{Name: "journal", Occurrence: schema.Fixed(40)},
+			},
+			Predicates: []schema.Predicate{
+				{Name: "createdBy", Occurrence: schema.Proportion(0.55)},
+				{Name: "cites", Occurrence: schema.Proportion(0.25)},
+				{Name: "publishedIn", Occurrence: schema.Proportion(0.10)},
+				{Name: "partOf", Occurrence: schema.Proportion(0.07)},
+				{Name: "editorOf", Occurrence: schema.Proportion(0.03)},
+			},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "article", Target: "person", Predicate: "createdBy",
+					In: dist.NewZipfian(2.0), Out: dist.NewGaussian(3, 1)},
+				{Source: "inproceedings", Target: "person", Predicate: "createdBy",
+					In: dist.NewZipfian(2.0), Out: dist.NewGaussian(3, 1)},
+				{Source: "incollection", Target: "person", Predicate: "createdBy",
+					In: dist.NewZipfian(2.0), Out: dist.NewGaussian(2, 1)},
+				// The citation graph is power-law in both directions.
+				{Source: "article", Target: "article", Predicate: "cites",
+					In: dist.NewZipfian(2.2), Out: dist.NewZipfian(1.7)},
+				{Source: "article", Target: "journal", Predicate: "publishedIn",
+					In: dist.Unspecified(), Out: dist.NewUniform(1, 1)},
+				{Source: "inproceedings", Target: "proceedings", Predicate: "partOf",
+					In: dist.NewGaussian(1.3, 0.5), Out: dist.NewUniform(1, 1)},
+				{Source: "person", Target: "proceedings", Predicate: "editorOf",
+					In: dist.NewUniform(1, 3), Out: dist.NewUniform(0, 1)},
+			},
+		},
+	}
+}
+
+// WD encodes the default WatDiv schema (users and products). Its
+// degree parameters make instances far denser than the other
+// scenarios, as reported in Section 6.2.
+func WD(n int) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "user", Occurrence: schema.Proportion(0.40)},
+				{Name: "product", Occurrence: schema.Proportion(0.25)},
+				{Name: "review", Occurrence: schema.Proportion(0.25)},
+				{Name: "retailer", Occurrence: schema.Proportion(0.05)},
+				{Name: "genre", Occurrence: schema.Proportion(0.05)},
+				{Name: "country", Occurrence: schema.Fixed(25)},
+			},
+			Predicates: []schema.Predicate{
+				{Name: "follows", Occurrence: schema.Proportion(0.35)},
+				{Name: "friendOf", Occurrence: schema.Proportion(0.30)},
+				{Name: "likes", Occurrence: schema.Proportion(0.15)},
+				{Name: "makesPurchase", Occurrence: schema.Proportion(0.08)},
+				{Name: "writes", Occurrence: schema.Proportion(0.05)},
+				{Name: "reviews", Occurrence: schema.Proportion(0.04)},
+				{Name: "sells", Occurrence: schema.Proportion(0.02)},
+				{Name: "hasGenre", Occurrence: schema.Proportion(0.008)},
+				{Name: "isFromCountry", Occurrence: schema.Proportion(0.002)},
+			},
+			Constraints: []schema.EdgeConstraint{
+				// Heavy-tailed social edges; both are dense.
+				{Source: "user", Target: "user", Predicate: "follows",
+					In: dist.NewZipfian(1.3), Out: dist.NewZipfian(1.3)},
+				{Source: "user", Target: "user", Predicate: "friendOf",
+					In: dist.Unspecified(), Out: dist.NewGaussian(40, 15)},
+				{Source: "user", Target: "product", Predicate: "likes",
+					In: dist.NewZipfian(1.5), Out: dist.NewGaussian(25, 10)},
+				{Source: "user", Target: "product", Predicate: "makesPurchase",
+					In: dist.Unspecified(), Out: dist.NewGaussian(12, 4)},
+				{Source: "user", Target: "review", Predicate: "writes",
+					In: dist.NewUniform(1, 1), Out: dist.Unspecified()},
+				{Source: "review", Target: "product", Predicate: "reviews",
+					In: dist.NewZipfian(1.4), Out: dist.NewUniform(1, 1)},
+				{Source: "retailer", Target: "product", Predicate: "sells",
+					In: dist.NewGaussian(4, 2), Out: dist.NewZipfian(1.1)},
+				{Source: "product", Target: "genre", Predicate: "hasGenre",
+					In: dist.NewZipfian(1.2), Out: dist.NewUniform(1, 3)},
+				{Source: "user", Target: "country", Predicate: "isFromCountry",
+					In: dist.Unspecified(), Out: dist.NewUniform(1, 1)},
+			},
+		},
+	}
+}
+
+// WorkloadKinds lists the four stress-test workload generators of
+// Section 6.2.
+var WorkloadKinds = []string{"len", "dis", "con", "rec"}
+
+// Workload returns the query workload configuration of the named
+// stress-test kind (Section 6.2):
+//
+//   - len: varying path lengths, no disjuncts, no conjuncts, no
+//     recursion;
+//   - dis: disjuncts, no conjuncts, no recursion;
+//   - con: conjuncts and disjuncts, no recursion;
+//   - rec: recursion (Kleene stars).
+//
+// The returned configuration has no class list; experiment drivers
+// call GenerateWithClass per class (10 constant, 10 linear,
+// 10 quadratic in the paper's protocol).
+func Workload(kind string, g *schema.GraphConfig, seed int64) (querygen.Config, error) {
+	cfg := querygen.Config{
+		Graph: g,
+		Count: 30,
+		Arity: query.Interval{Min: 2, Max: 2},
+		Size: query.Size{
+			Rules: query.Interval{Min: 1, Max: 1},
+		},
+		Seed: seed,
+	}
+	switch strings.ToLower(kind) {
+	case "len":
+		cfg.Size.Conjuncts = query.Interval{Min: 1, Max: 1}
+		cfg.Size.Disjuncts = query.Interval{Min: 1, Max: 1}
+		cfg.Size.Length = query.Interval{Min: 1, Max: 5}
+	case "dis":
+		cfg.Size.Conjuncts = query.Interval{Min: 1, Max: 1}
+		cfg.Size.Disjuncts = query.Interval{Min: 1, Max: 4}
+		cfg.Size.Length = query.Interval{Min: 1, Max: 3}
+	case "con":
+		cfg.Size.Conjuncts = query.Interval{Min: 1, Max: 4}
+		cfg.Size.Disjuncts = query.Interval{Min: 1, Max: 3}
+		cfg.Size.Length = query.Interval{Min: 1, Max: 3}
+	case "rec":
+		cfg.Size.Conjuncts = query.Interval{Min: 1, Max: 3}
+		cfg.Size.Disjuncts = query.Interval{Min: 1, Max: 2}
+		cfg.Size.Length = query.Interval{Min: 1, Max: 3}
+		cfg.RecursionProb = 0.5
+	default:
+		return querygen.Config{}, fmt.Errorf("usecases: unknown workload kind %q (have %s)",
+			kind, strings.Join(WorkloadKinds, ", "))
+	}
+	return cfg, nil
+}
