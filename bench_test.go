@@ -6,6 +6,7 @@ package gmark_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -272,6 +273,60 @@ func BenchmarkTranslationScalability(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkGenerateParallelism measures the unified pipeline's
+// constraint-emission stage sequentially versus across all cores. The
+// outputs are identical for any worker count at a fixed seed, so this
+// is a pure throughput comparison.
+func BenchmarkGenerateParallelism(b *testing.B) {
+	cfg, err := usecases.ByName("bib", 200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 1, Parallelism: mode.par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkSinkAblation isolates the sink cost of the pipeline: the
+// in-memory GraphSink (builds CSR adjacency) against the streaming
+// WriterSink (formats the textual edge list into io.Discard).
+func BenchmarkSinkAblation(b *testing.B) {
+	cfg, err := usecases.ByName("bib", 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("graph-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graphgen.Generate(cfg, graphgen.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("writer-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graphgen.Stream(cfg, graphgen.Options{Seed: 1}, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablation benchmarks (DESIGN.md section 4) ---

@@ -8,7 +8,7 @@
 //	gmark-bench -exp all -full         # everything at paper scale
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
-// qgen-scal, all.
+// qgen-scal, gen-scal, all.
 package main
 
 import (
@@ -37,6 +37,7 @@ func main() {
 		budget   = flag.Duration("timeout", 60*time.Second, "per-query evaluation timeout")
 		maxPairs = flag.Int64("max-pairs", 50_000_000, "per-query materialization budget")
 		runs     = flag.Int("runs", 1, "engine runs per measurement; >= 3 enables the paper's cold+warm protocol (Section 7.1)")
+		par      = flag.Int("parallelism", 0, "graph-generation workers (0 = all cores)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		QueriesPerClass: *perClass,
 		Budget:          eval.Budget{MaxPairs: *maxPairs, Timeout: *budget},
 		Runs:            *runs,
+		Parallelism:     *par,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
@@ -63,7 +65,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -125,6 +127,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderScalability(os.Stdout, rows)
+	case "gen-scal":
+		rows, err := experiments.GraphGenScalability(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderGenScalability(os.Stdout, rows)
 	case "coverage":
 		rows, err := experiments.Coverage(opt)
 		if err != nil {

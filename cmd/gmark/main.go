@@ -45,6 +45,7 @@ func main() {
 		checkTol   = flag.Float64("consistency", 0.25, "warn when in/out expected edge counts drift more than this fraction")
 		profile    = flag.Bool("profile", false, "print the workload diversity profile to stderr")
 		stream     = flag.Bool("stream", false, "stream the graph to disk without materializing it (for very large instances)")
+		par        = flag.Int("parallelism", 0, "graph-generation workers (0 = all cores; output is seed-deterministic for any value)")
 	)
 	flag.Parse()
 
@@ -105,10 +106,12 @@ func main() {
 	}
 
 	// Graph generation: materialized by default, streaming for very
-	// large instances.
+	// large instances. Both paths run the same pipeline; only the sink
+	// differs.
+	genOpt := graphgen.Options{Seed: *seed, Parallelism: *par}
 	if *stream {
 		err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
-			stats, err := graphgen.Stream(gcfg, graphgen.Options{Seed: *seed}, w)
+			stats, err := graphgen.Stream(gcfg, genOpt, w)
 			if err == nil {
 				log.Printf("graph (streamed): %d nodes, %d edges", stats.Nodes, stats.Edges)
 			}
@@ -121,7 +124,7 @@ func main() {
 			log.Printf("note: -ntriples requires the materialized path; skipped under -stream")
 		}
 	} else {
-		g, err := graphgen.Generate(gcfg, graphgen.Options{Seed: *seed})
+		g, err := graphgen.Generate(gcfg, genOpt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -89,12 +89,38 @@ type (
 	Graph = graph.Graph
 	// Edge is one labeled edge of a Graph.
 	Edge = graph.Edge
+	// NodeID identifies a node (dense in [0, NumNodes)).
+	NodeID = graph.NodeID
+	// PredID identifies a predicate in the graph's dictionary.
+	PredID = graph.PredID
 )
 
+// GenOptions tunes graph generation: Seed fixes the instance,
+// Parallelism sets the number of constraint-emission workers (0 =
+// GOMAXPROCS; output is identical for any worker count at a fixed
+// seed).
+type GenOptions = graphgen.Options
+
+// EdgeSink receives generated edges; plug a custom one into EmitGraph
+// to route generation output anywhere (a database loader, a network
+// writer, ...).
+type EdgeSink = graphgen.EdgeSink
+
 // GenerateGraph runs the linear-time generation algorithm of Fig. 5 on
-// the configuration with the given seed.
+// the configuration with the given seed, using all available cores.
 func GenerateGraph(cfg *GraphConfig, seed int64) (*Graph, error) {
 	return graphgen.Generate(cfg, graphgen.Options{Seed: seed})
+}
+
+// GenerateGraphWith is GenerateGraph with explicit generation options.
+func GenerateGraphWith(cfg *GraphConfig, opt GenOptions) (*Graph, error) {
+	return graphgen.Generate(cfg, opt)
+}
+
+// EmitGraph runs the generation pipeline into an arbitrary edge sink
+// and returns the number of edges delivered.
+func EmitGraph(cfg *GraphConfig, opt GenOptions, sink EdgeSink) (int, error) {
+	return graphgen.Emit(cfg, opt, sink)
 }
 
 // Queries.
@@ -223,6 +249,11 @@ func AnalyzeWorkload(queries []*Query) WorkloadProfile { return workload.Analyze
 // Table 3's 100M-node scale).
 func StreamGraph(cfg *GraphConfig, seed int64, w io.Writer) (graphgen.StreamStats, error) {
 	return graphgen.Stream(cfg, graphgen.Options{Seed: seed}, w)
+}
+
+// StreamGraphWith is StreamGraph with explicit generation options.
+func StreamGraphWith(cfg *GraphConfig, opt GenOptions, w io.Writer) (graphgen.StreamStats, error) {
+	return graphgen.Stream(cfg, opt, w)
 }
 
 // Use cases (Section 6.1).

@@ -1,0 +1,3 @@
+module gmark
+
+go 1.24

@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleMoments(t *testing.T, d Distribution, n int, seed int64) (mean, variance float64, max int) {
+	t.Helper()
+	s, err := d.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		k := s.Sample(rng)
+		if k < 0 {
+			t.Fatalf("negative sample %d from %v", k, d)
+		}
+		if k > max {
+			max = k
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance, max
+}
+
+func TestUniformSamplerMoments(t *testing.T) {
+	d := NewUniform(2, 8)
+	mean, variance, max := sampleMoments(t, d, 100_000, 1)
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("uniform[2,8] mean = %g, want ~5", mean)
+	}
+	// Discrete uniform on 7 values: var = (7^2-1)/12 = 4.
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("uniform[2,8] variance = %g, want ~4", variance)
+	}
+	if max > 8 {
+		t.Errorf("uniform[2,8] sampled %d", max)
+	}
+	if got := d.Mean(); got != 5 {
+		t.Errorf("Mean() = %g", got)
+	}
+}
+
+func TestGaussianSamplerMoments(t *testing.T) {
+	d := NewGaussian(6, 2)
+	mean, variance, _ := sampleMoments(t, d, 100_000, 2)
+	if math.Abs(mean-6) > 0.05 {
+		t.Errorf("gaussian(6,2) mean = %g", mean)
+	}
+	// Rounding adds 1/12 to the variance; clamping at 0 is negligible
+	// for mu=6, sigma=2.
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("gaussian(6,2) variance = %g, want ~4", variance)
+	}
+	if got := d.Mean(); got != 6 {
+		t.Errorf("Mean() = %g", got)
+	}
+}
+
+func TestGaussianSamplerClampsAtZero(t *testing.T) {
+	// A wide Gaussian centered near zero must clamp, never go negative
+	// (checked inside sampleMoments).
+	mean, _, _ := sampleMoments(t, NewGaussian(0.5, 2), 50_000, 3)
+	if mean < 0.5 {
+		t.Errorf("clamped gaussian mean %g below nominal mu", mean)
+	}
+}
+
+func TestZipfianSamplerMoments(t *testing.T) {
+	d := NewZipfian(2.5)
+	mean, _, max := sampleMoments(t, d, 200_000, 4)
+	want := d.Mean() // H(N,1.5)/H(N,2.5), ~1.90 for N=1000
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("zipf(2.5) sample mean = %g, analytic %g", mean, want)
+	}
+	if want < 1.8 || want > 2.0 {
+		t.Errorf("zipf(2.5) analytic mean = %g, want ~1.9", want)
+	}
+	if max > DefaultZipfN {
+		t.Errorf("zipf sample %d exceeds support %d", max, DefaultZipfN)
+	}
+	// Heavy tail: the max over 200K draws must dwarf the mean.
+	if float64(max) < 10*mean {
+		t.Errorf("zipf(2.5) max %d vs mean %g: tail too light", max, mean)
+	}
+}
+
+func TestZipfianCustomSupport(t *testing.T) {
+	d := Distribution{Kind: Zipfian, S: 1.1, N: 50}
+	_, _, max := sampleMoments(t, d, 50_000, 5)
+	if max > 50 {
+		t.Errorf("zipf support 50 produced sample %d", max)
+	}
+	if max < 40 {
+		t.Errorf("zipf(1.1, n=50) never sampled the tail: max %d", max)
+	}
+}
+
+func TestUnspecified(t *testing.T) {
+	d := Unspecified()
+	if d.Specified() {
+		t.Error("Unspecified() is specified")
+	}
+	if d.Mean() != 0 {
+		t.Errorf("unspecified mean = %g", d.Mean())
+	}
+	if _, err := d.NewSampler(); err == nil {
+		t.Error("sampling a non-specified distribution should fail")
+	}
+	var zero Distribution
+	if zero.Specified() {
+		t.Error("zero Distribution must be non-specified")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Distribution{
+		{Kind: Uniform, Min: -1, Max: 3},
+		{Kind: Uniform, Min: 4, Max: 3},
+		{Kind: Gaussian, Mu: -1, Sigma: 1},
+		{Kind: Gaussian, Mu: 1, Sigma: -1},
+		{Kind: Zipfian, S: 0},
+		{Kind: Zipfian, S: -2},
+		{Kind: Zipfian, S: 2, N: -5},
+		{Kind: Kind(99)},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", d)
+		}
+	}
+	good := []Distribution{
+		Unspecified(),
+		NewUniform(0, 0),
+		NewUniform(1, 3),
+		NewGaussian(0, 0),
+		NewGaussian(3, 1),
+		NewZipfian(1.2),
+		{Kind: Zipfian, S: 2, N: 100},
+	}
+	for _, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", d, err)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{NotSpecified, Uniform, Gaussian, Zipfian} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v", k.String(), got)
+		}
+	}
+	if _, err := ParseKind("pareto"); err == nil {
+		t.Error("ParseKind accepted unknown kind")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	for _, d := range []Distribution{NewUniform(0, 9), NewGaussian(3, 1), NewZipfian(1.5)} {
+		s, err := d.NewSampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := rand.New(rand.NewSource(7))
+		r2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			if a, b := s.Sample(r1), s.Sample(r2); a != b {
+				t.Fatalf("%v: draw %d differs (%d vs %d)", d, i, a, b)
+			}
+		}
+	}
+}

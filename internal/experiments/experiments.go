@@ -44,6 +44,10 @@ type Options struct {
 	// one discarded cold run, then Runs warm runs of which the fastest
 	// and slowest are dropped and the rest averaged.
 	Runs int
+	// Parallelism is the graph-generation worker count (0 = all
+	// cores). Generated instances are identical for any value at a
+	// fixed seed.
+	Parallelism int
 }
 
 // measureEngine runs one engine evaluation under the configured
@@ -121,20 +125,21 @@ func (o Options) progressf(format string, args ...any) {
 	}
 }
 
-// buildGraph generates one use-case instance.
-func buildGraph(usecase string, n int, seed int64) (*graph.Graph, error) {
+// buildGraph generates one use-case instance through the unified
+// pipeline.
+func buildGraph(usecase string, n int, seed int64, parallelism int) (*graph.Graph, error) {
 	cfg, err := usecases.ByName(usecase, n)
 	if err != nil {
 		return nil, err
 	}
-	return graphgen.Generate(cfg, graphgen.Options{Seed: seed})
+	return graphgen.Generate(cfg, graphgen.Options{Seed: seed, Parallelism: parallelism})
 }
 
 // buildGraphs generates one instance per size, reporting progress.
 func buildGraphs(o Options, usecase string, sizes []int) (map[int]*graph.Graph, error) {
 	graphs := make(map[int]*graph.Graph, len(sizes))
 	for _, n := range sizes {
-		g, err := buildGraph(usecase, n, o.Seed)
+		g, err := buildGraph(usecase, n, o.Seed, o.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("%s at %d nodes: %w", usecase, n, err)
 		}

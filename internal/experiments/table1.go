@@ -60,11 +60,11 @@ func Table1(opt Options) ([]Table1Row, error) {
 			sizes = []int{1000, 8000}
 		}
 	}
-	small, err := buildGraph("bib", sizes[0], opt.Seed)
+	small, err := buildGraph("bib", sizes[0], opt.Seed, opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	large, err := buildGraph("bib", sizes[1], opt.Seed)
+	large, err := buildGraph("bib", sizes[1], opt.Seed, opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -59,7 +59,7 @@ func Table3(opt Options) ([]Table3Row, error) {
 				return nil, err
 			}
 			start := time.Now()
-			g, err := graphgen.Generate(cfg, graphgen.Options{Seed: opt.Seed})
+			g, err := graphgen.Generate(cfg, graphgen.Options{Seed: opt.Seed, Parallelism: opt.Parallelism})
 			if err != nil {
 				return nil, err
 			}

@@ -1,19 +1,39 @@
 // Package graphgen implements gMark's linear-time graph generation
-// algorithm (paper, Fig. 5 and Section 4).
+// algorithm (paper, Fig. 5 and Section 4) as a staged, sink-based
+// pipeline:
 //
-// For each edge constraint eta(T1, T2, a) = (Din, Dout), the algorithm
-// draws a source-occurrence vector from Dout and a target-occurrence
-// vector from Din, shuffles both, and pairs them to produce
-// min(|vsrc|, |vtrg|) a-labeled edges. The heuristic never backtracks:
-// when the two vectors disagree in length the surplus occurrences are
-// dropped, which preserves the distribution *types* even if the exact
-// parameters cannot all be honored (the generation problem is
-// NP-complete, Theorem 3.6).
+//  1. Planning (plan.go): the schema's eta constraints are resolved
+//     into independent units of work — node-id ranges, predicate ids —
+//     and each constraint is assigned a deterministic RNG sub-seed
+//     derived from (Options.Seed, constraint index) with a splitmix64
+//     mix. No randomness is consumed during planning.
+//  2. Emission (this file): constraint workers run across
+//     Options.Parallelism goroutines (default GOMAXPROCS). For each
+//     edge constraint eta(T1, T2, a) = (Din, Dout) a worker draws a
+//     source-occurrence vector from Dout and a target-occurrence
+//     vector from Din, shuffles both, and pairs them to produce
+//     min(|vsrc|, |vtrg|) a-labeled edges. The heuristic never
+//     backtracks: when the two vectors disagree in length the surplus
+//     occurrences are dropped, which preserves the distribution
+//     *types* even if the exact parameters cannot all be honored (the
+//     generation problem is NP-complete, Theorem 3.6).
+//  3. Sinks (sink.go): edges flow into an EdgeSink. GraphSink builds
+//     an in-memory graph.Graph (Generate); WriterSink streams the
+//     textual edge-list format (Stream); callers can plug their own
+//     via Emit.
+//
+// Determinism is a hard invariant: a given (configuration, seed) pair
+// produces identical output regardless of worker count, because every
+// constraint owns an independent sub-seeded RNG and completed
+// constraint batches are flushed to the sink in ascending constraint
+// index.
 package graphgen
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 
 	"gmark/internal/dist"
 	"gmark/internal/graph"
@@ -23,8 +43,15 @@ import (
 // Options controls generation.
 type Options struct {
 	// Seed makes generation deterministic. Two runs with equal
-	// configuration and seed produce identical graphs.
+	// configuration, seed and options produce identical graphs, for any
+	// Parallelism.
 	Seed int64
+
+	// Parallelism is the number of constraint-emission workers. Zero
+	// selects runtime.GOMAXPROCS(0); one forces the sequential path,
+	// which emits straight into the sink without batch buffers (lowest
+	// memory for streaming).
+	Parallelism int
 
 	// NaiveShuffle disables the paired-shuffle optimization and follows
 	// Fig. 5 literally (materialize both vectors, full Fisher-Yates on
@@ -33,59 +60,183 @@ type Options struct {
 	NaiveShuffle bool
 }
 
-// Generate produces a graph instance satisfying (heuristically) the
-// given configuration.
-func Generate(cfg *schema.GraphConfig, opt Options) (*graph.Graph, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
 	}
-	s := &cfg.Schema
+	return runtime.GOMAXPROCS(0)
+}
 
-	typeNames := make([]string, len(s.Types))
-	typeCounts := make([]int, len(s.Types))
-	for i, t := range s.Types {
-		typeNames[i] = t.Name
-		typeCounts[i] = t.Occurrence.Count(cfg.Nodes)
-	}
-	predNames := make([]string, len(s.Predicates))
-	for i, p := range s.Predicates {
-		predNames[i] = p.Name
-	}
-	g, err := graph.New(typeNames, typeCounts, predNames)
+// Generate produces a graph instance satisfying (heuristically) the
+// given configuration. It is a thin wrapper over the pipeline with a
+// GraphSink.
+func Generate(cfg *schema.GraphConfig, opt Options) (*graph.Graph, error) {
+	p, err := newPlan(cfg, opt)
 	if err != nil {
 		return nil, err
 	}
-
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, c := range s.Constraints {
-		if err := generateConstraint(g, s, c, rng, opt); err != nil {
-			return nil, fmt.Errorf("graphgen: eta(%s,%s,%s): %w", c.Source, c.Target, c.Predicate, err)
-		}
+	g, err := graph.New(p.typeNames, p.typeCounts, p.predNames)
+	if err != nil {
+		return nil, err
+	}
+	sink := NewGraphSink(g)
+	if err := p.run(sink); err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, err
 	}
 	g.Freeze()
 	return g, nil
 }
 
-// generateConstraint emits the edges of a single eta entry.
-func generateConstraint(g *graph.Graph, s *schema.Schema, c schema.EdgeConstraint, rng *rand.Rand, opt Options) error {
-	srcType := s.TypeIndex(c.Source)
-	trgType := s.TypeIndex(c.Target)
-	pred := graph.PredID(s.PredicateIndex(c.Predicate))
-	nSrc := g.TypeCount(srcType)
-	nTrg := g.TypeCount(trgType)
-	if nSrc == 0 || nTrg == 0 {
-		return nil
+// Emit runs the generation pipeline into an arbitrary sink and returns
+// the number of edges delivered. Flush is called on the sink after the
+// last edge.
+func Emit(cfg *schema.GraphConfig, opt Options, sink EdgeSink) (int, error) {
+	p, err := newPlan(cfg, opt)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.run(sink); err != nil {
+		return 0, err
+	}
+	return p.emitted, sink.Flush()
+}
+
+// run executes the emission stage against the sink, sequentially or
+// across workers.
+func (p *plan) run(sink EdgeSink) error {
+	p.emitted = 0
+	if p.opt.workers() == 1 || len(p.constraints) <= 1 {
+		return p.runSequential(sink)
+	}
+	return p.runParallel(sink)
+}
+
+// runSequential emits every constraint in order, straight into the
+// sink. Peak memory is bounded by the largest single constraint's
+// occurrence vectors.
+func (p *plan) runSequential(sink EdgeSink) error {
+	for i := range p.constraints {
+		cp := &p.constraints[i]
+		n := 0
+		err := cp.emit(p.opt, func(src, dst graph.NodeID) error {
+			n++
+			return sink.AddEdge(src, cp.pred, dst)
+		})
+		if err != nil {
+			return cp.wrap(err)
+		}
+		p.emitted += n
+	}
+	return nil
+}
+
+// runParallel fans constraints out across workers. Each worker buffers
+// its constraint's edges into a private batch; a single flusher
+// goroutine (the caller) consumes batches strictly in constraint-index
+// order, so the sink observes the same sequence as the sequential
+// path. Admission slots are released only after a batch has been
+// flushed, so in-flight memory — emitting plus emitted-but-unflushed
+// constraints — is bounded by the worker count times the largest
+// batch, not by the whole graph, even when an early constraint is the
+// slowest.
+func (p *plan) runParallel(sink EdgeSink) error {
+	type result struct {
+		srcs, dsts []graph.NodeID
+		err        error
+	}
+	n := len(p.constraints)
+	results := make([]result, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
 	}
 
-	vsrc, err := occurrenceVector(c.Out, nSrc, rng)
+	// aborted tells workers to stop generating once the flusher has
+	// recorded an error; checked once per emitted edge (one atomic
+	// load, negligible against the RNG draws around it).
+	var aborted atomic.Bool
+
+	// Dispatcher: at most workers() constraints admitted at once.
+	// Workers publish into their private results slot; the close of
+	// done[i] orders the slot write before the flusher's read.
+	sem := make(chan struct{}, p.opt.workers())
+	go func() {
+		for i := 0; i < n; i++ {
+			sem <- struct{}{}
+			go func(i int) {
+				defer close(done[i])
+				cp := &p.constraints[i]
+				r := &results[i]
+				expect := cp.expectedEdges()
+				r.srcs = make([]graph.NodeID, 0, expect)
+				r.dsts = make([]graph.NodeID, 0, expect)
+				r.err = cp.emit(p.opt, func(src, dst graph.NodeID) error {
+					if aborted.Load() {
+						return errAborted
+					}
+					r.srcs = append(r.srcs, src)
+					r.dsts = append(r.dsts, dst)
+					return nil
+				})
+			}(i)
+		}
+	}()
+
+	// Ordered flush. On error, keep draining (and keep releasing
+	// admission slots) so no goroutine leaks, but stop touching the
+	// sink and tell in-flight workers to bail out.
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		r := &results[i]
+		cp := &p.constraints[i]
+		if firstErr == nil && r.err != nil {
+			firstErr = cp.wrap(r.err)
+			aborted.Store(true)
+		}
+		if firstErr == nil {
+			if err := addBatch(sink, cp.pred, r.srcs, r.dsts); err != nil {
+				firstErr = err
+				aborted.Store(true)
+			} else {
+				p.emitted += len(r.srcs)
+			}
+		}
+		results[i] = result{} // release the batch eagerly
+		<-sem                 // admit the next constraint only now
+	}
+	return firstErr
+}
+
+// errAborted marks work cancelled after another constraint already
+// failed; the flusher never reports it as the run's error because the
+// originating failure always carries a lower constraint index or
+// reached the sink first.
+var errAborted = fmt.Errorf("generation aborted")
+
+// emit generates the edges of one constraint, invoking emitEdge once
+// per edge in a deterministic order governed only by the constraint's
+// sub-seed.
+func (cp *constraintPlan) emit(opt Options, emitEdge func(src, dst graph.NodeID) error) error {
+	if cp.nSrc == 0 || cp.nTrg == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cp.seed))
+
+	vsrc, err := occurrenceVector(cp.c.Out, cp.nSrc, rng)
 	if err != nil {
 		return fmt.Errorf("out-distribution: %w", err)
 	}
-	vtrg, err := occurrenceVector(c.In, nTrg, rng)
+	vtrg, err := occurrenceVector(cp.c.In, cp.nTrg, rng)
 	if err != nil {
 		return fmt.Errorf("in-distribution: %w", err)
 	}
 
+	srcOff, trgOff := cp.srcOff, cp.trgOff
 	switch {
 	case vsrc == nil && vtrg == nil:
 		// Validate() rejects this, but guard anyway.
@@ -94,15 +245,17 @@ func generateConstraint(g *graph.Graph, s *schema.Schema, c schema.EdgeConstrain
 		// Out-distribution non-specified: each incoming occurrence is
 		// paired with a uniformly random source node.
 		for _, j := range vtrg {
-			src := g.NodeOfType(srcType, rng.Intn(nSrc))
-			g.AddEdge(src, pred, g.NodeOfType(trgType, int(j)))
+			if err := emitEdge(srcOff+int32(rng.Intn(cp.nSrc)), trgOff+j); err != nil {
+				return err
+			}
 		}
 		return nil
 	case vtrg == nil:
 		// In-distribution non-specified: uniform random targets.
 		for _, j := range vsrc {
-			dst := g.NodeOfType(trgType, rng.Intn(nTrg))
-			g.AddEdge(g.NodeOfType(srcType, int(j)), pred, dst)
+			if err := emitEdge(srcOff+j, trgOff+int32(rng.Intn(cp.nTrg))); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -129,7 +282,9 @@ func generateConstraint(g *graph.Graph, s *schema.Schema, c schema.EdgeConstrain
 		partialShuffle(longer, m, rng)
 	}
 	for i := 0; i < m; i++ {
-		g.AddEdge(g.NodeOfType(srcType, int(vsrc[i])), pred, g.NodeOfType(trgType, int(vtrg[i])))
+		if err := emitEdge(srcOff+vsrc[i], trgOff+vtrg[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

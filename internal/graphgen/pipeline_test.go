@@ -1,0 +1,202 @@
+package graphgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"gmark/internal/dist"
+	"gmark/internal/graph"
+	"gmark/internal/usecases"
+)
+
+// edgeListBytes renders a materialized graph in the canonical
+// WriteEdgeList form.
+func edgeListBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateStreamByteIdentical is the pipeline-equivalence
+// contract: for the same seed, the graph materialized by Generate and
+// the graph parsed back from Stream's output render byte-identical
+// WriteEdgeList files.
+func TestGenerateStreamByteIdentical(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		opt := Options{Seed: 77, Parallelism: par}
+		g, err := Generate(cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed bytes.Buffer
+		if _, err := Stream(cfg, opt, &streamed); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := graph.ReadEdgeList(bytes.NewReader(streamed.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(edgeListBytes(t, g), edgeListBytes(t, parsed)) {
+			t.Fatalf("parallelism %d: Generate and Stream disagree", par)
+		}
+	}
+}
+
+// TestParallelismInvariance checks the hard determinism requirement:
+// identical output for a given seed regardless of worker count, on
+// both the materialized and the streaming path.
+func TestParallelismInvariance(t *testing.T) {
+	cfg, err := usecases.ByName("lsn", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refGraph []byte
+	var refStream []byte
+	for _, par := range []int{1, 2, 3, 8} {
+		opt := Options{Seed: 99, Parallelism: par}
+		g, err := Generate(cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl := edgeListBytes(t, g)
+		var sb bytes.Buffer
+		if _, err := Stream(cfg, opt, &sb); err != nil {
+			t.Fatal(err)
+		}
+		if refGraph == nil {
+			refGraph, refStream = gl, sb.Bytes()
+			continue
+		}
+		if !bytes.Equal(refGraph, gl) {
+			t.Errorf("parallelism %d: materialized graph differs from parallelism 1", par)
+		}
+		if !bytes.Equal(refStream, sb.Bytes()) {
+			t.Errorf("parallelism %d: streamed bytes differ from parallelism 1", par)
+		}
+	}
+}
+
+// TestParallelismInvarianceAllUseCases sweeps every built-in schema at
+// a smaller size; each exercises a different mix of distribution kinds
+// and constraint counts.
+func TestParallelismInvarianceAllUseCases(t *testing.T) {
+	for _, name := range usecases.Names {
+		cfg, err := usecases.ByName(name, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Generate(cfg, Options{Seed: 5, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		par, err := Generate(cfg, Options{Seed: 5, Parallelism: 0}) // GOMAXPROCS
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(edgeListBytes(t, seq), edgeListBytes(t, par)) {
+			t.Errorf("%s: sequential and parallel graphs differ", name)
+		}
+	}
+}
+
+// TestEmitCustomSink checks the public sink extension point: a
+// user-provided sink sees exactly the edges the built-in sinks see.
+func TestEmitCustomSink(t *testing.T) {
+	cfg := twoTypeConfig(1000, dist.NewGaussian(2, 1), dist.NewGaussian(2, 1))
+	g, err := Generate(cfg, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink countingSink
+	n, err := Emit(cfg, Options{Seed: 13}, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.NumEdges() || sink.edges != g.NumEdges() {
+		t.Errorf("Emit delivered %d/%d edges, Generate made %d", n, sink.edges, g.NumEdges())
+	}
+}
+
+// errorSink fails on the k-th edge, to exercise error propagation
+// through the ordered flusher.
+type errorSink struct {
+	after int
+	seen  int
+}
+
+func (s *errorSink) AddEdge(graph.NodeID, graph.PredID, graph.NodeID) error {
+	s.seen++
+	if s.seen > s.after {
+		return fmt.Errorf("sink full after %d edges", s.after)
+	}
+	return nil
+}
+
+func (s *errorSink) Flush() error { return nil }
+
+func TestEmitPropagatesSinkErrors(t *testing.T) {
+	// bib has four constraints, so Parallelism > 1 exercises the
+	// ordered parallel flusher (a single-constraint config would fall
+	// back to the sequential path).
+	cfg, err := usecases.ByName("bib", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		if _, err := Emit(cfg, Options{Seed: 1, Parallelism: par}, &errorSink{after: 10}); err == nil {
+			t.Errorf("parallelism %d: sink error not propagated", par)
+		}
+	}
+}
+
+func TestStreamToFailedWriter(t *testing.T) {
+	cfg := twoTypeConfig(500, dist.NewUniform(1, 1), dist.NewUniform(1, 1))
+	if _, err := Stream(cfg, Options{Seed: 1}, failingWriter{}); err == nil {
+		t.Error("write failure not surfaced")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestSubSeedSpread is a smoke test that adjacent constraint indices
+// receive well-separated RNG streams.
+func TestSubSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for i := 0; i < 64; i++ {
+			s := subSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("sub-seed collision at seed=%d index=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestWriterSinkHeader pins the header format ReadEdgeList depends on.
+func TestWriterSinkHeader(t *testing.T) {
+	cfg := twoTypeConfig(100, dist.NewUniform(1, 1), dist.NewUniform(1, 1))
+	var buf bytes.Buffer
+	sink, err := NewWriterSink(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Nodes() != 100 {
+		t.Errorf("header nodes = %d", sink.Nodes())
+	}
+	want := "# gmark graph nodes=100\n# types src:50 trg:50\n# predicates p\n"
+	if buf.String() != want {
+		t.Errorf("header = %q, want %q", buf.String(), want)
+	}
+}

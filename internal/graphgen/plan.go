@@ -1,0 +1,155 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+// plan is the output of the planning stage: the resolved node layout
+// plus one constraintPlan per eta entry. Planning is cheap and
+// deterministic; all randomness is deferred to the emission stage,
+// which draws from the per-constraint sub-seeds fixed here.
+type plan struct {
+	typeNames  []string
+	typeCounts []int
+	predNames  []string
+	totalNodes int
+
+	constraints []constraintPlan
+	opt         Options
+
+	// emitted counts the edges delivered by the last run; it is only
+	// touched from the single flusher goroutine.
+	emitted int
+}
+
+// constraintPlan is one independently emittable unit of work: a single
+// eta entry with its node-id ranges resolved and its own RNG sub-seed.
+// Because every constraint owns a seed derived only from (Options.Seed,
+// index), constraints can be emitted on any worker in any order and
+// still produce identical edges.
+type constraintPlan struct {
+	index int
+	c     schema.EdgeConstraint
+
+	pred           graph.PredID
+	srcOff, trgOff int32 // global node-id offset of the source/target type
+	nSrc, nTrg     int   // node counts of the source/target type
+
+	seed int64
+}
+
+// newPlan validates the configuration and resolves every constraint.
+func newPlan(cfg *schema.GraphConfig, opt Options) (*plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &cfg.Schema
+
+	p := &plan{
+		typeNames:  make([]string, len(s.Types)),
+		typeCounts: make([]int, len(s.Types)),
+		predNames:  make([]string, len(s.Predicates)),
+		opt:        opt,
+	}
+	typeOffset := make(map[string]int32, len(s.Types))
+	typeCount := make(map[string]int, len(s.Types))
+	var off int32
+	for i, t := range s.Types {
+		c := t.Occurrence.Count(cfg.Nodes)
+		p.typeNames[i] = t.Name
+		p.typeCounts[i] = c
+		typeOffset[t.Name] = off
+		typeCount[t.Name] = c
+		off += int32(c)
+	}
+	p.totalNodes = int(off)
+	for i, pr := range s.Predicates {
+		p.predNames[i] = pr.Name
+	}
+
+	p.constraints = make([]constraintPlan, len(s.Constraints))
+	for i, c := range s.Constraints {
+		p.constraints[i] = constraintPlan{
+			index:  i,
+			c:      c,
+			pred:   graph.PredID(s.PredicateIndex(c.Predicate)),
+			srcOff: typeOffset[c.Source],
+			trgOff: typeOffset[c.Target],
+			nSrc:   typeCount[c.Source],
+			nTrg:   typeCount[c.Target],
+			seed:   subSeed(opt.Seed, i),
+		}
+	}
+	return p, nil
+}
+
+// expectedConstraintEdges estimates the number of edges one constraint
+// will emit (the min-side expectation of Fig. 5), used to pre-size
+// emission buffers.
+func (cp *constraintPlan) expectedEdges() int {
+	var out, in float64
+	hasOut, hasIn := cp.c.Out.Specified(), cp.c.In.Specified()
+	if hasOut {
+		out = float64(cp.nSrc) * cp.c.Out.Mean()
+	}
+	if hasIn {
+		in = float64(cp.nTrg) * cp.c.In.Mean()
+	}
+	switch {
+	case hasOut && hasIn:
+		return int(min(out, in))
+	case hasOut:
+		return int(out)
+	default:
+		return int(in)
+	}
+}
+
+// subSeed derives the deterministic RNG seed of constraint index from
+// the run seed, using the splitmix64 finalizer so adjacent indices land
+// in statistically independent stream positions.
+func subSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ExpectedEdges estimates the number of edges Stream/Generate will
+// produce for a configuration: the min-side expectation per constraint
+// (useful for pre-sizing and for the Table 3 reporting).
+func ExpectedEdges(cfg *schema.GraphConfig) int {
+	total := 0.0
+	for _, c := range cfg.Schema.Constraints {
+		nSrc := float64(cfg.TypeCount(c.Source))
+		nTrg := float64(cfg.TypeCount(c.Target))
+		var out, in float64
+		hasOut, hasIn := c.Out.Specified(), c.In.Specified()
+		if hasOut {
+			out = nSrc * c.Out.Mean()
+		}
+		if hasIn {
+			in = nTrg * c.In.Mean()
+		}
+		switch {
+		case hasOut && hasIn:
+			total += min(out, in)
+		case hasOut:
+			total += out
+		default:
+			total += in
+		}
+	}
+	return int(total)
+}
+
+// errConstraint wraps an emission error with its eta identity.
+func (cp *constraintPlan) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("graphgen: eta(%s,%s,%s): %w", cp.c.Source, cp.c.Target, cp.c.Predicate, err)
+}

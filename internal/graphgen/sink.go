@@ -1,0 +1,175 @@
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+// EdgeSink consumes the edges produced by the emission stage. The
+// pipeline delivers edges grouped by constraint, in ascending
+// constraint index, with a deterministic order inside each group — so a
+// sink observes the identical call sequence for a given seed regardless
+// of how many workers emitted the edges.
+//
+// Sinks are driven from a single goroutine; implementations need no
+// internal locking.
+type EdgeSink interface {
+	// AddEdge consumes one labeled edge over global node ids.
+	AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error
+	// Flush finalizes the sink after the last edge.
+	Flush() error
+}
+
+// BatchEdgeSink is an optional fast path: sinks that can consume a
+// whole per-constraint batch at once (same src/dst index pairing)
+// avoid the per-edge call overhead.
+type BatchEdgeSink interface {
+	EdgeSink
+	AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error
+}
+
+// addBatch delivers one batch to the sink, using the batch fast path
+// when available.
+func addBatch(sink EdgeSink, pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	if bs, ok := sink.(BatchEdgeSink); ok {
+		return bs.AddEdgeBatch(pred, srcs, dsts)
+	}
+	for i := range srcs {
+		if err := sink.AddEdge(srcs[i], pred, dsts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GraphSink builds an in-memory graph.Graph. Per-constraint batches
+// append directly into the graph's per-predicate edge shards; the CSR
+// adjacency is built once by graph.Freeze after the pipeline drains.
+type GraphSink struct {
+	g     *graph.Graph
+	edges int
+}
+
+// NewGraphSink wraps an unfrozen graph.
+func NewGraphSink(g *graph.Graph) *GraphSink { return &GraphSink{g: g} }
+
+// AddEdge implements EdgeSink.
+func (s *GraphSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	s.g.AddEdge(src, pred, dst)
+	s.edges++
+	return nil
+}
+
+// AddEdgeBatch implements BatchEdgeSink.
+func (s *GraphSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	if err := s.g.AddEdgeBatch(pred, srcs, dsts); err != nil {
+		return err
+	}
+	s.edges += len(srcs)
+	return nil
+}
+
+// Flush implements EdgeSink. Freezing is left to the caller so the
+// sink can be reused across multiple emission passes if desired.
+func (s *GraphSink) Flush() error { return nil }
+
+// Edges returns the number of edges consumed.
+func (s *GraphSink) Edges() int { return s.edges }
+
+// WriterSink streams edges as the textual edge-list format of
+// graph.WriteEdgeList ("src pred dst" over global node ids), preceded
+// by the node-layout header that graph.ReadEdgeList accepts. It
+// replaces the hand-rolled loop the streaming path used to carry.
+type WriterSink struct {
+	bw        *bufio.Writer
+	predNames []string
+	nodes     int
+	edges     int
+	line      []byte // scratch buffer, reused across edges
+}
+
+// NewWriterSink builds a sink over w and immediately writes the header
+// derived from the configuration. The header cannot carry the edge
+// count up front; it describes the node layout only.
+func NewWriterSink(w io.Writer, cfg *schema.GraphConfig) (*WriterSink, error) {
+	s := &cfg.Schema
+	typeNames := make([]string, len(s.Types))
+	typeCounts := make([]int, len(s.Types))
+	for i, t := range s.Types {
+		typeNames[i] = t.Name
+		typeCounts[i] = t.Occurrence.Count(cfg.Nodes)
+	}
+	predNames := make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		predNames[i] = p.Name
+	}
+	return newWriterSink(w, typeNames, typeCounts, predNames)
+}
+
+// newWriterSink writes the header from an already-resolved layout (the
+// planning stage hands its own layout here, so the header and the
+// emitted node ids cannot drift apart).
+func newWriterSink(w io.Writer, typeNames []string, typeCounts []int, predNames []string) (*WriterSink, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	total := 0
+	for _, c := range typeCounts {
+		total += c
+	}
+	fmt.Fprintf(bw, "# gmark graph nodes=%d\n", total)
+	fmt.Fprintf(bw, "# types")
+	for i, name := range typeNames {
+		fmt.Fprintf(bw, " %s:%d", name, typeCounts[i])
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "# predicates")
+	for _, name := range predNames {
+		fmt.Fprintf(bw, " %s", name)
+	}
+	fmt.Fprintln(bw)
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return &WriterSink{bw: bw, predNames: predNames, nodes: total, line: make([]byte, 0, 64)}, nil
+}
+
+// AddEdge implements EdgeSink. Lines are assembled with
+// strconv.AppendInt into a reused buffer; this is the hot path of the
+// streaming generator.
+func (s *WriterSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	b := s.line[:0]
+	b = strconv.AppendInt(b, int64(src), 10)
+	b = append(b, ' ')
+	b = append(b, s.predNames[pred]...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(dst), 10)
+	b = append(b, '\n')
+	s.line = b
+	s.edges++
+	_, err := s.bw.Write(b)
+	return err
+}
+
+// Flush implements EdgeSink.
+func (s *WriterSink) Flush() error { return s.bw.Flush() }
+
+// Nodes returns the total node count described by the header.
+func (s *WriterSink) Nodes() int { return s.nodes }
+
+// Edges returns the number of edges written so far.
+func (s *WriterSink) Edges() int { return s.edges }
+
+// countingSink discards edges; used by tests and ablation benchmarks
+// to measure emission cost without sink cost.
+type countingSink struct{ edges int }
+
+func (s *countingSink) AddEdge(graph.NodeID, graph.PredID, graph.NodeID) error {
+	s.edges++
+	return nil
+}
+
+func (s *countingSink) Flush() error { return nil }

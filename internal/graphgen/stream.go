@@ -1,10 +1,7 @@
 package graphgen
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"math/rand"
 
 	"gmark/internal/schema"
 )
@@ -15,146 +12,28 @@ type StreamStats struct {
 	Edges int
 }
 
-// Stream runs the Fig. 5 generation algorithm writing edges directly
-// to w in the edge-list format of graph.WriteEdgeList, without
-// materializing the graph in memory. Peak memory is bounded by the
-// largest single constraint's occurrence vectors, which makes the
-// paper's Table 3 sizes (up to 100M nodes) reachable on ordinary
-// machines; the open-source gMark tool streams to disk the same way.
+// Stream runs the generation pipeline writing edges directly to w in
+// the edge-list format of graph.WriteEdgeList, without materializing
+// the graph in memory: it is Generate with a WriterSink instead of a
+// GraphSink. With Parallelism=1, peak memory is bounded by the largest
+// single constraint's occurrence vectors; with N workers, by N
+// in-flight constraint batches — either way the paper's Table 3 sizes
+// (up to 100M nodes) stay reachable on ordinary machines, and the
+// output is byte-identical for a given seed regardless of worker
+// count.
 func Stream(cfg *schema.GraphConfig, opt Options, w io.Writer) (StreamStats, error) {
-	if err := cfg.Validate(); err != nil {
+	p, err := newPlan(cfg, opt)
+	if err != nil {
 		return StreamStats{}, err
 	}
-	s := &cfg.Schema
-
-	typeOffset := make(map[string]int, len(s.Types))
-	typeCount := make(map[string]int, len(s.Types))
-	total := 0
-	for _, t := range s.Types {
-		c := t.Occurrence.Count(cfg.Nodes)
-		typeOffset[t.Name] = total
-		typeCount[t.Name] = c
-		total += c
-	}
-
-	bw := bufio.NewWriterSize(w, 1<<20)
-	// The header cannot carry the edge count up front; emit the node
-	// layout only (graph.ReadEdgeList accepts it).
-	fmt.Fprintf(bw, "# gmark graph nodes=%d\n", total)
-	fmt.Fprintf(bw, "# types")
-	for _, t := range s.Types {
-		fmt.Fprintf(bw, " %s:%d", t.Name, typeCount[t.Name])
-	}
-	fmt.Fprintln(bw)
-	fmt.Fprintf(bw, "# predicates")
-	for _, p := range s.Predicates {
-		fmt.Fprintf(bw, " %s", p.Name)
-	}
-	fmt.Fprintln(bw)
-
-	rng := rand.New(rand.NewSource(opt.Seed))
-	stats := StreamStats{Nodes: total}
-	for _, c := range s.Constraints {
-		n, err := streamConstraint(bw, c, typeOffset[c.Source], typeCount[c.Source],
-			typeOffset[c.Target], typeCount[c.Target], rng, opt)
-		if err != nil {
-			return stats, fmt.Errorf("graphgen: eta(%s,%s,%s): %w", c.Source, c.Target, c.Predicate, err)
-		}
-		stats.Edges += n
-	}
-	return stats, bw.Flush()
-}
-
-func streamConstraint(bw *bufio.Writer, c schema.EdgeConstraint, srcOff, nSrc, trgOff, nTrg int, rng *rand.Rand, opt Options) (int, error) {
-	if nSrc == 0 || nTrg == 0 {
-		return 0, nil
-	}
-	emit := func(src, dst int32) error {
-		_, err := fmt.Fprintf(bw, "%d %s %d\n", int(src)+srcOff, c.Predicate, int(dst)+trgOff)
-		return err
-	}
-
-	vsrc, err := occurrenceVector(c.Out, nSrc, rng)
+	sink, err := newWriterSink(w, p.typeNames, p.typeCounts, p.predNames)
 	if err != nil {
-		return 0, fmt.Errorf("out-distribution: %w", err)
+		return StreamStats{}, err
 	}
-	vtrg, err := occurrenceVector(c.In, nTrg, rng)
-	if err != nil {
-		return 0, fmt.Errorf("in-distribution: %w", err)
+	stats := StreamStats{Nodes: p.totalNodes}
+	if err := p.run(sink); err != nil {
+		return stats, err
 	}
-
-	switch {
-	case vsrc == nil && vtrg == nil:
-		return 0, fmt.Errorf("both distributions non-specified")
-	case vsrc == nil:
-		for _, j := range vtrg {
-			if err := emit(int32(rng.Intn(nSrc)), j); err != nil {
-				return 0, err
-			}
-		}
-		return len(vtrg), nil
-	case vtrg == nil:
-		for _, j := range vsrc {
-			if err := emit(j, int32(rng.Intn(nTrg))); err != nil {
-				return 0, err
-			}
-		}
-		return len(vsrc), nil
-	}
-
-	m := len(vsrc)
-	if len(vtrg) < m {
-		m = len(vtrg)
-	}
-	if opt.NaiveShuffle {
-		rng.Shuffle(len(vsrc), func(i, j int) { vsrc[i], vsrc[j] = vsrc[j], vsrc[i] })
-		rng.Shuffle(len(vtrg), func(i, j int) { vtrg[i], vtrg[j] = vtrg[j], vtrg[i] })
-	} else {
-		longer := vsrc
-		if len(vtrg) > len(vsrc) {
-			longer = vtrg
-		}
-		partialShuffle(longer, m, rng)
-	}
-	for i := 0; i < m; i++ {
-		if err := emit(vsrc[i], vtrg[i]); err != nil {
-			return 0, err
-		}
-	}
-	return m, nil
-}
-
-// ExpectedEdges estimates the number of edges Stream/Generate will
-// produce for a configuration: the min-side expectation per constraint
-// (useful for pre-sizing and for the Table 3 reporting).
-func ExpectedEdges(cfg *schema.GraphConfig) int {
-	total := 0.0
-	for _, c := range cfg.Schema.Constraints {
-		nSrc := float64(cfg.TypeCount(c.Source))
-		nTrg := float64(cfg.TypeCount(c.Target))
-		var out, in float64
-		hasOut, hasIn := c.Out.Specified(), c.In.Specified()
-		if hasOut {
-			out = nSrc * c.Out.Mean()
-		}
-		if hasIn {
-			in = nTrg * c.In.Mean()
-		}
-		switch {
-		case hasOut && hasIn:
-			total += min(out, in)
-		case hasOut:
-			total += out
-		default:
-			total += in
-		}
-	}
-	return int(total)
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
+	stats.Edges = sink.Edges()
+	return stats, sink.Flush()
 }
