@@ -329,6 +329,50 @@ func BenchmarkSinkAblation(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkload measures the query-workload pipeline end to end:
+// planning plus emission of a 200-query mixed-shape, mixed-class
+// workload, sequentially and across all cores, plus the streaming
+// profile sink. Workloads are identical for any worker count at a
+// fixed seed, so seq-vs-parallel is a pure throughput comparison.
+func BenchmarkWorkload(b *testing.B) {
+	cfg, err := usecases.ByName("bib", 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg, err := usecases.Workload("con", cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcfg.Count = 200
+	wcfg.Shapes = []query.Shape{query.Chain, query.Star, query.Cycle, query.StarChain}
+	wcfg.Classes = []query.SelectivityClass{query.Constant, query.Linear, query.Quadratic}
+	gen, err := querygen.New(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Emit(querygen.Options{Parallelism: mode.par}, querygen.DiscardSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("profile-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.Emit(querygen.Options{}, querygen.NewProfileSink()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Ablation benchmarks (DESIGN.md section 4) ---
 
 // BenchmarkAblationGaussianFastPath compares the optimized

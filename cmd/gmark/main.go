@@ -5,27 +5,31 @@
 // into the four concrete syntaxes — the full workflow of the paper's
 // Fig. 1.
 //
+// Both generators run the same plan/emit/sink pipeline architecture:
+// -parallelism controls the worker count of graph and workload
+// emission alike, and output is seed-deterministic for any value.
+//
 // Usage:
 //
 //	gmark -usecase bib -nodes 10000 -queries 20 -out ./out
 //	gmark -config config.xml -out ./out -ntriples
+//	gmark -usecase bib -verify -syntax sparql,sql -workload-out ./queries
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
 	"gmark/internal/gconfig"
 	"gmark/internal/graphgen"
+	"gmark/internal/graphstat"
 	"gmark/internal/query"
 	"gmark/internal/querygen"
 	"gmark/internal/schema"
 	"gmark/internal/translate"
 	"gmark/internal/usecases"
-	"gmark/internal/workload"
 )
 
 func main() {
@@ -33,19 +37,22 @@ func main() {
 	log.SetPrefix("gmark: ")
 
 	var (
-		configPath = flag.String("config", "", "gMark XML configuration file (overrides -usecase)")
-		usecase    = flag.String("usecase", "bib", "built-in use case: bib, lsn, sp, wd")
-		nodes      = flag.Int("nodes", 10000, "graph size (number of nodes) for built-in use cases")
-		numQueries = flag.Int("queries", 30, "number of workload queries")
-		kind       = flag.String("workload", "con", "workload kind: len, dis, con, rec")
-		classes    = flag.String("selectivity", "constant,linear,quadratic", "comma-separated selectivity classes, or empty to disable selectivity control")
-		seed       = flag.Int64("seed", 1, "random seed")
-		outDir     = flag.String("out", "out", "output directory")
-		ntriples   = flag.Bool("ntriples", false, "also write the graph as N-Triples")
-		checkTol   = flag.Float64("consistency", 0.25, "warn when in/out expected edge counts drift more than this fraction")
-		profile    = flag.Bool("profile", false, "print the workload diversity profile to stderr")
-		stream     = flag.Bool("stream", false, "stream the graph to disk without materializing it (for very large instances)")
-		par        = flag.Int("parallelism", 0, "graph-generation workers (0 = all cores; output is seed-deterministic for any value)")
+		configPath  = flag.String("config", "", "gMark XML configuration file (overrides -usecase)")
+		usecase     = flag.String("usecase", "bib", "built-in use case: bib, lsn, sp, wd")
+		nodes       = flag.Int("nodes", 10000, "graph size (number of nodes) for built-in use cases")
+		numQueries  = flag.Int("queries", 30, "number of workload queries")
+		kind        = flag.String("workload", "con", "workload kind: len, dis, con, rec")
+		classes     = flag.String("selectivity", "constant,linear,quadratic", "comma-separated selectivity classes, or empty to disable selectivity control")
+		seed        = flag.Int64("seed", 1, "random seed")
+		outDir      = flag.String("out", "out", "output directory")
+		ntriples    = flag.Bool("ntriples", false, "also write the graph as N-Triples")
+		checkTol    = flag.Float64("consistency", 0.25, "warn when in/out expected edge counts drift more than this fraction")
+		profile     = flag.Bool("profile", false, "print the workload diversity profile to stderr (streamed; the workload is never re-scanned)")
+		stream      = flag.Bool("stream", false, "stream the graph to disk without materializing it (for very large instances)")
+		par         = flag.Int("parallelism", 0, "graph- and workload-generation workers (0 = all cores; output is seed-deterministic for any value)")
+		verify      = flag.Bool("verify", false, "check the generated instance's degree statistics against the configured distributions (materialized path only)")
+		workloadOut = flag.String("workload-out", "", "directory for per-query translated files (default <out>/queries)")
+		syntax      = flag.String("syntax", "sparql,cypher,sql,datalog", "comma-separated translation syntaxes for the per-query files, or empty to skip translation")
 	)
 	flag.Parse()
 
@@ -123,12 +130,30 @@ func main() {
 		if *ntriples {
 			log.Printf("note: -ntriples requires the materialized path; skipped under -stream")
 		}
+		if *verify {
+			log.Printf("note: -verify requires the materialized path; skipped under -stream")
+		}
 	} else {
 		g, err := graphgen.Generate(gcfg, genOpt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		if *verify {
+			reports := graphstat.Check(g, gcfg, *checkTol)
+			bad := 0
+			for _, r := range reports {
+				if !r.OK {
+					bad++
+					log.Printf("verify: FAIL %s", r)
+				}
+			}
+			if bad > 0 {
+				log.Printf("verify: %d/%d distribution sides failed", bad, len(reports))
+			} else {
+				log.Printf("verify: all %d distribution sides consistent with the configuration", len(reports))
+			}
+		}
 		if err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
 			return g.WriteEdgeList(w)
 		}); err != nil {
@@ -143,41 +168,56 @@ func main() {
 		}
 	}
 
-	// Workload generation.
+	// Workload generation: one pipeline pass fans queries out to every
+	// requested sink — the in-memory slice (for the XML workload file),
+	// the streaming profile, and the multi-syntax directory.
 	gen, err := querygen.New(wcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	qs, err := gen.Generate()
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("workload: %d queries", len(qs))
+	slice := &querygen.SliceSink{}
+	sinks := []querygen.QuerySink{slice}
+	var prof *querygen.ProfileSink
 	if *profile {
-		workload.Analyze(qs).Render(os.Stderr)
+		prof = querygen.NewProfileSink()
+		sinks = append(sinks, prof)
 	}
-	if err := writeFile(filepath.Join(*outDir, "workload.xml"), func(w *os.File) error {
-		return gconfig.WriteQueries(w, qs)
-	}); err != nil {
-		log.Fatal(err)
-	}
-
-	// Translations.
-	for _, syntax := range translate.Syntaxes {
-		path := filepath.Join(*outDir, fmt.Sprintf("workload.%s", syntax))
-		err := writeFile(path, func(w *os.File) error {
-			for i, q := range qs {
-				text, err := translate.To(syntax, q, translate.Options{})
-				if err != nil {
-					return fmt.Errorf("query %d: %w", i, err)
-				}
-				fmt.Fprintf(w, "-- query %d: %s\n%s\n", i, q.Rules[0].String(), text)
+	var dirSink *querygen.SyntaxDirSink
+	if *syntax != "" {
+		var syns []translate.Syntax
+		for _, name := range splitComma(*syntax) {
+			s, err := translate.ParseSyntax(name)
+			if err != nil {
+				log.Fatal(err)
 			}
-			return nil
-		})
+			syns = append(syns, s)
+		}
+		qdir := *workloadOut
+		if qdir == "" {
+			qdir = filepath.Join(*outDir, "queries")
+		}
+		dirSink, err = querygen.NewSyntaxDirSink(qdir, syns)
 		if err != nil {
 			log.Fatal(err)
 		}
+		sinks = append(sinks, dirSink)
+	}
+	n, err := gen.Emit(querygen.Options{Parallelism: *par}, querygen.MultiSink(sinks...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("workload: %d queries", n)
+	if prof != nil {
+		prof.Profile().Render(os.Stderr)
+	}
+	if err := writeFile(filepath.Join(*outDir, "workload.xml"), func(w *os.File) error {
+		return gconfig.WriteQueries(w, slice.Queries)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if dirSink != nil {
+		log.Printf("translations: %d queries x %d syntaxes in %s",
+			dirSink.Count(), len(dirSink.Syntaxes()), dirSink.Dir())
 	}
 	log.Printf("wrote %s", *outDir)
 }

@@ -171,6 +171,64 @@ func NewWorkloadGenerator(cfg WorkloadConfig) (*WorkloadGenerator, error) {
 	return querygen.New(cfg)
 }
 
+// WorkloadOptions tunes workload emission: Parallelism sets the number
+// of query workers (0 = GOMAXPROCS; for a fixed Config.Seed the
+// emitted workload is identical for any value).
+type WorkloadOptions = querygen.Options
+
+// Workload sinks: queries stream out of the generation pipeline in
+// index order into a QuerySink.
+type (
+	// QuerySink receives generated queries; plug a custom one into
+	// EmitWorkload to route workload output anywhere.
+	QuerySink = querygen.QuerySink
+	// WorkloadSliceSink materializes the workload in memory.
+	WorkloadSliceSink = querygen.SliceSink
+	// WorkloadProfileSink streams a diversity profile without
+	// materializing the workload.
+	WorkloadProfileSink = querygen.ProfileSink
+	// WorkloadSyntaxDirSink writes each query translated into the four
+	// concrete syntaxes as per-query files under a directory.
+	WorkloadSyntaxDirSink = querygen.SyntaxDirSink
+)
+
+// Workload sink constructors.
+var (
+	// NewWorkloadProfileSink returns an empty streaming profile sink.
+	NewWorkloadProfileSink = querygen.NewProfileSink
+	// NewWorkloadSyntaxDirSink returns a sink writing per-query
+	// translated files under dir (nil syntaxes = all four).
+	NewWorkloadSyntaxDirSink = querygen.NewSyntaxDirSink
+	// MultiQuerySink fans each query out to several sinks.
+	MultiQuerySink = querygen.MultiSink
+)
+
+// GenerateWorkload generates the configured workload through the
+// plan/emit/sink pipeline using all cores.
+func GenerateWorkload(cfg WorkloadConfig) ([]*Query, error) {
+	return GenerateWorkloadWith(cfg, WorkloadOptions{})
+}
+
+// GenerateWorkloadWith is GenerateWorkload with explicit emission
+// options.
+func GenerateWorkloadWith(cfg WorkloadConfig, opt WorkloadOptions) ([]*Query, error) {
+	gen, err := querygen.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateWith(opt)
+}
+
+// EmitWorkload runs the workload pipeline into an arbitrary query sink
+// and returns the number of queries delivered.
+func EmitWorkload(cfg WorkloadConfig, opt WorkloadOptions, sink QuerySink) (int, error) {
+	gen, err := querygen.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return gen.Emit(opt, sink)
+}
+
 // Selectivity estimation (Section 5.2).
 type (
 	// Estimator estimates selectivity classes against one schema.

@@ -169,21 +169,6 @@ type failingWriter struct{}
 
 func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
 
-// TestSubSeedSpread is a smoke test that adjacent constraint indices
-// receive well-separated RNG streams.
-func TestSubSeedSpread(t *testing.T) {
-	seen := map[int64]bool{}
-	for seed := int64(0); seed < 4; seed++ {
-		for i := 0; i < 64; i++ {
-			s := subSeed(seed, i)
-			if seen[s] {
-				t.Fatalf("sub-seed collision at seed=%d index=%d", seed, i)
-			}
-			seen[s] = true
-		}
-	}
-}
-
 // TestWriterSinkHeader pins the header format ReadEdgeList depends on.
 func TestWriterSinkHeader(t *testing.T) {
 	cfg := twoTypeConfig(100, dist.NewUniform(1, 1), dist.NewUniform(1, 1))

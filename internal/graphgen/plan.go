@@ -5,6 +5,7 @@ import (
 
 	"gmark/internal/graph"
 	"gmark/internal/schema"
+	"gmark/internal/splitmix"
 )
 
 // plan is the output of the planning stage: the resolved node layout
@@ -80,7 +81,7 @@ func newPlan(cfg *schema.GraphConfig, opt Options) (*plan, error) {
 			trgOff: typeOffset[c.Target],
 			nSrc:   typeCount[c.Source],
 			nTrg:   typeCount[c.Target],
-			seed:   subSeed(opt.Seed, i),
+			seed:   splitmix.SubSeed(opt.Seed, i),
 		}
 	}
 	return p, nil
@@ -108,15 +109,6 @@ func (cp *constraintPlan) expectedEdges() int {
 	}
 }
 
-// subSeed derives the deterministic RNG seed of constraint index from
-// the run seed, using the splitmix64 finalizer so adjacent indices land
-// in statistically independent stream positions.
-func subSeed(seed int64, index int) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
 
 // ExpectedEdges estimates the number of edges Stream/Generate will
 // produce for a configuration: the min-side expectation per constraint

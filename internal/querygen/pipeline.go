@@ -1,0 +1,128 @@
+package querygen
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gmark/internal/query"
+)
+
+// Generate produces the configured number of queries through the
+// plan/emit/sink pipeline using all cores. For a fixed seed the result
+// is identical at any worker count. Safe for concurrent use.
+func (g *Generator) Generate() ([]*query.Query, error) {
+	return g.GenerateWith(Options{})
+}
+
+// GenerateWith is Generate with explicit emission options.
+func (g *Generator) GenerateWith(opt Options) ([]*query.Query, error) {
+	sink := &SliceSink{}
+	if _, err := g.Emit(opt, sink); err != nil {
+		return nil, err
+	}
+	return sink.Queries, nil
+}
+
+// Emit runs the workload pipeline into an arbitrary sink and returns
+// the number of queries delivered. Queries reach the sink in ascending
+// index order from a single goroutine, regardless of worker count;
+// Flush is called after the last query.
+func (g *Generator) Emit(opt Options, sink QuerySink) (int, error) {
+	units := g.planWorkload()
+	var err error
+	if opt.workers() == 1 || len(units) <= 1 {
+		err = g.emitSequential(units, sink)
+	} else {
+		err = g.emitParallel(units, opt, sink)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(units), sink.Flush()
+}
+
+// emitSequential generates every unit in order, straight into the
+// sink.
+func (g *Generator) emitSequential(units []queryUnit, sink QuerySink) error {
+	for i := range units {
+		q, err := g.emitUnit(units[i])
+		if err != nil {
+			return fmt.Errorf("querygen: query %d: %w", units[i].index, err)
+		}
+		if err := sink.AddQuery(units[i].index, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitParallel fans units out across workers. Each worker publishes
+// its query into a slot of a fixed ring; the flusher (the caller)
+// consumes slots strictly in index order, so the sink observes the
+// same call sequence as the sequential path. Unit i uses slot i mod k:
+// the admission semaphore guarantees unit i is launched only after
+// unit i-k has been flushed, so slot reuse never overlaps, and total
+// in-flight memory is O(workers) — not O(workload) — preserving the
+// streaming sinks' constant-memory property for huge workloads.
+func (g *Generator) emitParallel(units []queryUnit, opt Options, sink QuerySink) error {
+	type result struct {
+		q   *query.Query
+		err error
+	}
+	n := len(units)
+	k := opt.workers()
+	if k > n {
+		k = n
+	}
+	results := make([]result, k)
+	// done[s] is buffered and reused by send/receive pairs; each pair
+	// orders the slot write before the flusher's read.
+	done := make([]chan struct{}, k)
+	for i := range done {
+		done[i] = make(chan struct{}, 1)
+	}
+
+	// aborted tells not-yet-started workers to skip generating once the
+	// flusher has recorded an error.
+	var aborted atomic.Bool
+
+	sem := make(chan struct{}, k)
+	go func() {
+		for i := 0; i < n; i++ {
+			sem <- struct{}{}
+			go func(i int) {
+				slot := i % k
+				defer func() { done[slot] <- struct{}{} }()
+				if aborted.Load() {
+					results[slot] = result{} // clear the previous occupant
+					return
+				}
+				q, err := g.emitUnit(units[i])
+				results[slot] = result{q: q, err: err}
+			}(i)
+		}
+	}()
+
+	// Ordered flush. On error, keep draining (and keep releasing
+	// admission slots) so no goroutine leaks, but stop touching the
+	// sink.
+	var firstErr error
+	for i := 0; i < n; i++ {
+		slot := i % k
+		<-done[slot]
+		r := results[slot]
+		results[slot] = result{} // release the query eagerly
+		if firstErr == nil && r.err != nil {
+			firstErr = fmt.Errorf("querygen: query %d: %w", units[i].index, r.err)
+			aborted.Store(true)
+		}
+		if firstErr == nil && r.q != nil {
+			if err := sink.AddQuery(units[i].index, r.q); err != nil {
+				firstErr = err
+				aborted.Store(true)
+			}
+		}
+		<-sem // admit the unit k ahead only now
+	}
+	return firstErr
+}

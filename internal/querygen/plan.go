@@ -1,0 +1,82 @@
+package querygen
+
+import (
+	"math/rand"
+	"runtime"
+
+	"gmark/internal/query"
+	"gmark/internal/splitmix"
+)
+
+// Options controls workload emission.
+type Options struct {
+	// Parallelism is the number of query-emission workers. Zero selects
+	// runtime.GOMAXPROCS(0); one forces the sequential path. For a
+	// fixed Config.Seed the emitted workload is identical for any
+	// value.
+	Parallelism int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// queryUnit is one independently emittable unit of work: a single
+// query with its workload-level assignment pre-drawn and its own RNG
+// sub-seed. Because every unit owns a seed derived only from
+// (Config.Seed, index), units can be emitted on any worker in any
+// order and still produce identical queries.
+type queryUnit struct {
+	index int
+	seed  int64
+
+	shape    query.Shape
+	hasClass bool
+	class    query.SelectivityClass
+	// arity is the projection arity of a plain query (ignored when
+	// hasClass: the class machinery fixes arity at 2).
+	arity    int
+	numRules int
+}
+
+// planWorkload resolves the configuration into per-query units. All
+// workload-level randomness — the (shape, class, arity, rule count)
+// assignment of every query — is drawn here from a single RNG on a
+// dedicated sub-stream of the seed, so emission workers never contend
+// for a shared stream; everything below the assignment draws from the
+// unit's own sub-seed. Planning is cheap (no schema walks) and its
+// result depends only on (Config, Seed).
+func (g *Generator) planWorkload() []queryUnit {
+	rng := rand.New(rand.NewSource(splitmix.SubSeed(g.cfg.Seed, 0)))
+	units := make([]queryUnit, g.cfg.Count)
+	for i := range units {
+		u := &units[i]
+		u.index = i
+		u.seed = splitmix.SubSeed(g.cfg.Seed, i+1)
+		u.shape = pickShapeFrom(rng, g.cfg.Shapes)
+		u.numRules = drawInterval(rng, g.cfg.Size.Rules)
+		if len(g.cfg.Classes) > 0 && u.shape == query.Chain {
+			u.hasClass = true
+			u.class = g.cfg.Classes[rng.Intn(len(g.cfg.Classes))]
+		} else {
+			u.arity = drawInterval(rng, g.cfg.Arity)
+		}
+	}
+	return units
+}
+
+// emitUnit generates one planned query on a fresh worker seeded with
+// the unit's sub-seed. It touches only read-only generator state and
+// is safe to call from any goroutine.
+func (g *Generator) emitUnit(u queryUnit) (*query.Query, error) {
+	w := worker{g: g, rng: rand.New(rand.NewSource(u.seed))}
+	if u.hasClass {
+		return w.classQuery(u.class, u.numRules)
+	}
+	return w.plainQuery(u.shape, u.arity, u.numRules)
+}
+

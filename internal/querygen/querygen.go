@@ -1,12 +1,35 @@
 // Package querygen implements gMark's query workload generation
-// algorithm (paper, Fig. 6 and Section 5): for each query it draws a
-// skeleton of the requested shape and size, picks projection variables
-// consistent with the arity constraint, and instantiates the
-// placeholders with regular path expressions. For selectivity-
-// constrained binary chain queries the instantiation walks the
-// selectivity graph G_sel so that the composed selectivity class of
-// the chain matches the requested class (Section 5.2.4); everything
-// else uses schema-typed random walks.
+// algorithm (paper, Fig. 6 and Section 5) as a staged, sink-based
+// pipeline mirroring internal/graphgen:
+//
+//  1. Planning (plan.go): the workload configuration is resolved into
+//     one queryUnit per query, carrying the pre-drawn workload-level
+//     assignment — shape, selectivity class, arity, rule count — and a
+//     deterministic RNG sub-seed derived from (Config.Seed, index)
+//     with a splitmix64 mix.
+//  2. Emission (pipeline.go): query workers run across
+//     Options.Parallelism goroutines. Each worker owns its own RNG and
+//     a read-only view of the shared schema analysis (the selectivity
+//     estimator, the schema graph G_S and the per-window selectivity
+//     graphs G_sel, all frozen at New).
+//  3. Sinks (sink.go): queries flow into a QuerySink in index order.
+//     SliceSink materializes the workload (Generate); ProfileSink
+//     streams a workload.Profile without materializing; SyntaxDirSink
+//     fans each query through internal/translate into per-language
+//     files the way the original gMark tool does.
+//
+// Determinism is a hard invariant: a given (configuration, seed) pair
+// produces an identical workload regardless of worker count, because
+// every query owns an independent sub-seeded RNG and finished queries
+// are flushed to the sink in ascending index.
+//
+// For each query the generator draws a skeleton of the requested shape
+// and size, picks projection variables consistent with the arity
+// constraint, and instantiates the placeholders with regular path
+// expressions. For selectivity-constrained binary chain queries the
+// instantiation walks the selectivity graph G_sel so that the composed
+// selectivity class of the chain matches the requested class
+// (Section 5.2.4); everything else uses schema-typed random walks.
 //
 // Like the paper's heuristic, the generator never backtracks across
 // queries: when the exact constraints cannot be met it relaxes the
@@ -81,20 +104,32 @@ const maxRelaxation = 3
 // the window is widened.
 const attemptsPerQuery = 4
 
-// Generator generates queries for one configuration.
+// Generator generates queries for one configuration. After New
+// returns, every field except the sequential-API RNG (seq.rng) is
+// read-only, so the emission pipeline may share one Generator across
+// any number of workers. The stateful convenience methods GenerateOne
+// and GenerateWithClass draw from the shared seq stream and are NOT
+// safe for concurrent use; Generate, GenerateWith and Emit are.
 type Generator struct {
-	cfg  Config
-	est  *selectivity.Estimator
-	sg   *selectivity.SchemaGraph
+	cfg Config
+	est *selectivity.Estimator
+	sg  *selectivity.SchemaGraph
+	// gsel caches the selectivity graph per path-length window. Every
+	// window reachable through the relaxation ladder is precomputed in
+	// New, so the map is never written after construction and is safe
+	// for concurrent reads (this replaces the lazily-mutated cache the
+	// single-threaded generator used to carry).
 	gsel map[query.Interval]*selectivity.SelectivityGraph
-	rng  *rand.Rand
 	// startNodes caches the G_S identity nodes that have at least one
 	// outgoing edge (usable walk starts).
 	startNodes []int
+	// seq backs the sequential one-query-at-a-time API; it owns the
+	// Config.Seed RNG stream. The pipeline never touches it.
+	seq worker
 }
 
-// New builds a generator, precomputing the schema graph and its
-// distance matrix.
+// New builds a generator, precomputing the schema graph, its distance
+// matrix, and the selectivity graphs of every relaxation window.
 func New(cfg Config) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -109,7 +144,6 @@ func New(cfg Config) (*Generator, error) {
 		est:  est,
 		sg:   sg,
 		gsel: make(map[query.Interval]*selectivity.SelectivityGraph),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for t := 0; t < est.NumTypes(); t++ {
 		n := sg.IdentityNode(t)
@@ -120,6 +154,16 @@ func New(cfg Config) (*Generator, error) {
 	if len(g.startNodes) == 0 {
 		return nil, fmt.Errorf("querygen: schema admits no edges at all")
 	}
+	// The relaxation ladder only ever requests the windows
+	// lengthWindow(0..maxRelaxation); building them here freezes the
+	// cache before any worker can observe it.
+	for relax := 0; relax <= maxRelaxation; relax++ {
+		w := g.lengthWindow(relax)
+		if _, ok := g.gsel[w]; !ok {
+			g.gsel[w] = sg.Selectivity(w.Min, w.Max)
+		}
+	}
+	g.seq = worker{g: g, rng: rand.New(rand.NewSource(cfg.Seed))}
 	return g, nil
 }
 
@@ -129,51 +173,15 @@ func (g *Generator) Estimator() *selectivity.Estimator { return g.est }
 // SchemaGraph exposes the schema graph G_S.
 func (g *Generator) SchemaGraph() *selectivity.SchemaGraph { return g.sg }
 
-// selGraph returns the (cached) selectivity graph for a length window.
+// selGraph returns the selectivity graph for a length window. Ladder
+// windows hit the frozen cache; an out-of-ladder window (none exists
+// today) is computed on the fly without touching the cache, keeping
+// the method safe for concurrent use.
 func (g *Generator) selGraph(w query.Interval) *selectivity.SelectivityGraph {
 	if gs, ok := g.gsel[w]; ok {
 		return gs
 	}
-	gs := g.sg.Selectivity(w.Min, w.Max)
-	g.gsel[w] = gs
-	return gs
-}
-
-// Generate produces the configured number of queries.
-func (g *Generator) Generate() ([]*query.Query, error) {
-	out := make([]*query.Query, 0, g.cfg.Count)
-	for i := 0; i < g.cfg.Count; i++ {
-		q, err := g.GenerateOne()
-		if err != nil {
-			return nil, fmt.Errorf("querygen: query %d: %w", i, err)
-		}
-		out = append(out, q)
-	}
-	return out, nil
-}
-
-// GenerateOne draws one query according to the configuration.
-func (g *Generator) GenerateOne() (*query.Query, error) {
-	shape := g.pickShape()
-	if len(g.cfg.Classes) > 0 && shape == query.Chain {
-		class := g.cfg.Classes[g.rng.Intn(len(g.cfg.Classes))]
-		return g.GenerateWithClass(class)
-	}
-	return g.generatePlain(shape)
-}
-
-func (g *Generator) pickShape() query.Shape {
-	if len(g.cfg.Shapes) == 0 {
-		return query.Chain
-	}
-	return g.cfg.Shapes[g.rng.Intn(len(g.cfg.Shapes))]
-}
-
-func (g *Generator) interval(iv query.Interval) int {
-	if iv.Max <= iv.Min {
-		return iv.Min
-	}
-	return iv.Min + g.rng.Intn(iv.Max-iv.Min+1)
+	return g.sg.Selectivity(w.Min, w.Max)
 }
 
 // lengthWindow returns the configured path-length window, widened by
@@ -191,18 +199,72 @@ func (g *Generator) lengthWindow(relax int) query.Interval {
 	return query.Interval{Min: lo, Max: g.cfg.Size.Length.Max + relax}
 }
 
+// GenerateOne draws one query according to the configuration, from the
+// generator's sequential RNG stream. Not safe for concurrent use.
+func (g *Generator) GenerateOne() (*query.Query, error) {
+	w := &g.seq
+	shape := w.pickShape()
+	if len(g.cfg.Classes) > 0 && shape == query.Chain {
+		class := g.cfg.Classes[w.rng.Intn(len(g.cfg.Classes))]
+		return g.GenerateWithClass(class)
+	}
+	numRules := w.interval(g.cfg.Size.Rules)
+	arity := w.interval(g.cfg.Arity)
+	return w.plainQuery(shape, arity, numRules)
+}
+
 // GenerateWithClass draws one binary chain query whose estimated
-// selectivity class is class (Section 5.2.4). The returned query's
-// Relaxed flag reports whether the class constraint had to be dropped.
+// selectivity class is class (Section 5.2.4), from the generator's
+// sequential RNG stream. The returned query's Relaxed flag reports
+// whether the class constraint had to be dropped. Not safe for
+// concurrent use.
 func (g *Generator) GenerateWithClass(class query.SelectivityClass) (*query.Query, error) {
-	numRules := g.interval(g.cfg.Size.Rules)
+	w := &g.seq
+	return w.classQuery(class, w.interval(g.cfg.Size.Rules))
+}
+
+// worker is one emission context: the shared read-only generator state
+// plus a private RNG. The planning stage hands each queryUnit to a
+// fresh worker seeded with the unit's sub-seed; the sequential API
+// reuses one long-lived worker on the Config.Seed stream.
+type worker struct {
+	g   *Generator
+	rng *rand.Rand
+}
+
+func (w *worker) pickShape() query.Shape {
+	return pickShapeFrom(w.rng, w.g.cfg.Shapes)
+}
+
+// pickShapeFrom draws a shape from the configured list (chain when the
+// list is empty).
+func pickShapeFrom(rng *rand.Rand, shapes []query.Shape) query.Shape {
+	if len(shapes) == 0 {
+		return query.Chain
+	}
+	return shapes[rng.Intn(len(shapes))]
+}
+
+func (w *worker) interval(iv query.Interval) int { return drawInterval(w.rng, iv) }
+
+// drawInterval draws a uniform value from a closed interval.
+func drawInterval(rng *rand.Rand, iv query.Interval) int {
+	if iv.Max <= iv.Min {
+		return iv.Min
+	}
+	return iv.Min + rng.Intn(iv.Max-iv.Min+1)
+}
+
+// classQuery draws one binary chain query targeting a selectivity
+// class, with the given number of rules.
+func (w *worker) classQuery(class query.SelectivityClass, numRules int) (*query.Query, error) {
 	q := &query.Query{Shape: query.Chain, HasClass: true, Class: class}
 	for r := 0; r < numRules; r++ {
-		rule, relaxed, ok := g.classChainRule(class)
+		rule, relaxed, ok := w.classChainRule(class)
 		if !ok {
 			// Last resort: drop the selectivity constraint for this
 			// rule (the paper always outputs a result).
-			rule, ok = g.plainBinaryChainRule()
+			rule, ok = w.plainBinaryChainRule()
 			if !ok {
 				return nil, fmt.Errorf("querygen: could not instantiate chain rule under schema")
 			}
@@ -224,26 +286,27 @@ func (g *Generator) GenerateWithClass(class query.SelectivityClass) (*query.Quer
 // classChainRule draws one chain rule targeting a selectivity class,
 // applying the relaxation ladder: re-draw layouts, then widen the
 // path-length window.
-func (g *Generator) classChainRule(class query.SelectivityClass) (query.Rule, bool, bool) {
+func (w *worker) classChainRule(class query.SelectivityClass) (query.Rule, bool, bool) {
+	g := w.g
 	for relax := 0; relax <= maxRelaxation; relax++ {
 		window := g.lengthWindow(relax)
 		gsel := g.selGraph(window)
 		for attempt := 0; attempt < attemptsPerQuery; attempt++ {
-			numConjuncts := g.interval(g.cfg.Size.Conjuncts)
+			numConjuncts := w.interval(g.cfg.Size.Conjuncts)
 			starred := make([]bool, numConjuncts)
 			walkSteps := 0
 			for i := range starred {
-				if g.rng.Float64() < g.cfg.RecursionProb {
+				if w.rng.Float64() < g.cfg.RecursionProb {
 					starred[i] = true
 				} else {
 					walkSteps++
 				}
 			}
-			walk, ok := gsel.WalkToClass(g.rng, walkSteps, class)
+			walk, ok := gsel.WalkToClass(w.rng, walkSteps, class)
 			if !ok {
 				// Retry with all conjuncts unstarred before widening.
 				if walkSteps != numConjuncts {
-					walk, ok = gsel.WalkToClass(g.rng, numConjuncts, class)
+					walk, ok = gsel.WalkToClass(w.rng, numConjuncts, class)
 					if ok {
 						starred = make([]bool, numConjuncts)
 					}
@@ -252,7 +315,7 @@ func (g *Generator) classChainRule(class query.SelectivityClass) (query.Rule, bo
 					continue
 				}
 			}
-			rule, ok := g.instantiateChain(walk, starred, window, true)
+			rule, ok := w.instantiateChain(walk, starred, window, true)
 			if !ok {
 				continue
 			}
@@ -266,7 +329,7 @@ func (g *Generator) classChainRule(class query.SelectivityClass) (query.Rule, bo
 // chain rule with head (x0, xk). When exact is true every disjunct
 // connects the exact G_S walk nodes (preserving the selectivity
 // triple); otherwise disjuncts only respect the endpoint types.
-func (g *Generator) instantiateChain(walk []int, starred []bool, window query.Interval, exact bool) (query.Rule, bool) {
+func (w *worker) instantiateChain(walk []int, starred []bool, window query.Interval, exact bool) (query.Rule, bool) {
 	var body []query.Conjunct
 	nextVar := query.Var(1)
 	walkIdx := 0
@@ -275,9 +338,9 @@ func (g *Generator) instantiateChain(walk []int, starred []bool, window query.In
 		var expr regpath.Expr
 		var ok bool
 		if starred[i] {
-			expr, ok = g.starExpr(walk[walkIdx], window)
+			expr, ok = w.starExpr(walk[walkIdx], window)
 		} else {
-			expr, ok = g.stepExpr(walk[walkIdx], walk[walkIdx+1], window, exact)
+			expr, ok = w.stepExpr(walk[walkIdx], walk[walkIdx+1], window, exact)
 			walkIdx++
 		}
 		if !ok {
@@ -296,18 +359,19 @@ func (g *Generator) instantiateChain(walk []int, starred []bool, window query.In
 // stepExpr instantiates one placeholder for a walk step from G_S node
 // a to node b: a disjunction of label paths with lengths in the
 // window.
-func (g *Generator) stepExpr(a, b int, window query.Interval, exact bool) (regpath.Expr, bool) {
-	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
-	targetType := g.sg.Nodes[b].Type
+func (w *worker) stepExpr(a, b int, window query.Interval, exact bool) (regpath.Expr, bool) {
+	sg := w.g.sg
+	numDisjuncts := w.interval(w.g.cfg.Size.Disjuncts)
+	targetType := sg.Nodes[b].Type
 	var paths []regpath.Path
 	for d := 0; d < numDisjuncts; d++ {
 		var p regpath.Path
 		var ok bool
 		if exact {
-			p, ok = g.sg.SamplePathBetween(g.rng, a, b, window.Min, window.Max)
+			p, ok = sg.SamplePathBetween(w.rng, a, b, window.Min, window.Max)
 		} else {
-			p, _, ok = g.sg.SamplePathBetweenSets(g.rng, a,
-				func(v int) bool { return g.sg.Nodes[v].Type == targetType },
+			p, _, ok = sg.SamplePathBetweenSets(w.rng, a,
+				func(v int) bool { return sg.Nodes[v].Type == targetType },
 				window.Min, window.Max)
 		}
 		if !ok {
@@ -330,17 +394,18 @@ func (g *Generator) stepExpr(a, b int, window query.Interval, exact bool) (regpa
 // expression loops back to the node's type, and the whole disjunction
 // is starred. Starred conjuncts inherit their neighbors' types with
 // the '=' selectivity operation (Section 5.2.4).
-func (g *Generator) starExpr(a int, window query.Interval) (regpath.Expr, bool) {
-	t := g.sg.Nodes[a].Type
-	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+func (w *worker) starExpr(a int, window query.Interval) (regpath.Expr, bool) {
+	sg := w.g.sg
+	t := sg.Nodes[a].Type
+	numDisjuncts := w.interval(w.g.cfg.Size.Disjuncts)
 	lmin := window.Min
 	if lmin < 1 {
 		lmin = 1 // an eps disjunct under a star is pointless
 	}
 	var paths []regpath.Path
 	for d := 0; d < numDisjuncts; d++ {
-		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, g.sg.IdentityNode(t),
-			func(v int) bool { return g.sg.Nodes[v].Type == t },
+		p, _, ok := sg.SamplePathBetweenSets(w.rng, sg.IdentityNode(t),
+			func(v int) bool { return sg.Nodes[v].Type == t },
 			lmin, window.Max)
 		if !ok {
 			if d == 0 {
@@ -361,10 +426,10 @@ func (g *Generator) starExpr(a int, window query.Interval) (regpath.Expr, bool) 
 // plainBinaryChainRule draws an unconstrained chain rule projected on
 // its endpoints, for selectivity-constrained workloads whose class
 // walk could not be satisfied.
-func (g *Generator) plainBinaryChainRule() (query.Rule, bool) {
+func (w *worker) plainBinaryChainRule() (query.Rule, bool) {
 	for attempt := 0; attempt < attemptsPerQuery*(maxRelaxation+1); attempt++ {
-		window := g.lengthWindow(attempt / attemptsPerQuery)
-		rule, ok := g.plainChain(g.interval(g.cfg.Size.Conjuncts), window)
+		window := w.g.lengthWindow(attempt / attemptsPerQuery)
+		rule, ok := w.plainChain(w.interval(w.g.cfg.Size.Conjuncts), window)
 		if ok {
 			rule.Head = []query.Var{rule.Body[0].Src, rule.Body[len(rule.Body)-1].Dst}
 			return rule, true

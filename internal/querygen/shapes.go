@@ -7,24 +7,21 @@ import (
 	"gmark/internal/regpath"
 )
 
-// generatePlain draws one query of the given shape without selectivity
+// plainQuery draws one query of the given shape without selectivity
 // control: skeleton first (Fig. 6, line 2), projection variables
-// (line 3), then schema-typed placeholder instantiation (line 4).
-func (g *Generator) generatePlain(shape query.Shape) (*query.Query, error) {
-	numRules := g.interval(g.cfg.Size.Rules)
+// (line 3), then schema-typed placeholder instantiation (line 4). The
+// arity and rule count are decided by the caller (the planning stage
+// pre-draws them; the sequential API draws them from its own stream).
+func (w *worker) plainQuery(shape query.Shape, arity, numRules int) (*query.Query, error) {
 	q := &query.Query{Shape: shape}
-
-	// All rules share the query arity; draw it once, capped later by
-	// the variable count of each rule.
-	wantArity := g.interval(g.cfg.Arity)
 
 	for r := 0; r < numRules; r++ {
 		var rule query.Rule
 		var ok bool
 		for attempt := 0; attempt < attemptsPerQuery*(maxRelaxation+1); attempt++ {
 			relax := attempt / attemptsPerQuery
-			window := g.lengthWindow(relax)
-			rule, ok = g.plainRule(shape, window)
+			window := w.g.lengthWindow(relax)
+			rule, ok = w.plainRule(shape, window)
 			if ok {
 				if relax > 0 {
 					q.Relaxed = true
@@ -41,13 +38,13 @@ func (g *Generator) generatePlain(shape query.Shape) (*query.Query, error) {
 	// Projection: a uniform random subset of each rule's variables, of
 	// the drawn arity (clamped to the variable count).
 	for i := range q.Rules {
-		q.Rules[i].Head = g.pickProjection(&q.Rules[i], wantArity)
+		q.Rules[i].Head = w.pickProjection(&q.Rules[i], arity)
 	}
 	return q, q.Validate()
 }
 
 // pickProjection draws head variables for a rule.
-func (g *Generator) pickProjection(r *query.Rule, arity int) []query.Var {
+func (w *worker) pickProjection(r *query.Rule, arity int) []query.Var {
 	seen := map[query.Var]bool{}
 	var vars []query.Var
 	for _, c := range r.Body {
@@ -64,7 +61,7 @@ func (g *Generator) pickProjection(r *query.Rule, arity int) []query.Var {
 	// Partial Fisher-Yates, then restore ascending order for
 	// readability.
 	for i := 0; i < arity; i++ {
-		j := i + g.rng.Intn(len(vars)-i)
+		j := i + w.rng.Intn(len(vars)-i)
 		vars[i], vars[j] = vars[j], vars[i]
 	}
 	head := append([]query.Var(nil), vars[:arity]...)
@@ -77,17 +74,17 @@ func (g *Generator) pickProjection(r *query.Rule, arity int) []query.Var {
 }
 
 // plainRule builds one rule body of the given shape.
-func (g *Generator) plainRule(shape query.Shape, window query.Interval) (query.Rule, bool) {
-	numConjuncts := g.interval(g.cfg.Size.Conjuncts)
+func (w *worker) plainRule(shape query.Shape, window query.Interval) (query.Rule, bool) {
+	numConjuncts := w.interval(w.g.cfg.Size.Conjuncts)
 	switch shape {
 	case query.Chain:
-		return g.plainChain(numConjuncts, window)
+		return w.plainChain(numConjuncts, window)
 	case query.Star:
-		return g.plainStar(numConjuncts, window)
+		return w.plainStar(numConjuncts, window)
 	case query.Cycle:
-		return g.plainCycle(numConjuncts, window)
+		return w.plainCycle(numConjuncts, window)
 	case query.StarChain:
-		return g.plainStarChain(numConjuncts, window)
+		return w.plainStarChain(numConjuncts, window)
 	default:
 		return query.Rule{}, false
 	}
@@ -95,45 +92,46 @@ func (g *Generator) plainRule(shape query.Shape, window query.Interval) (query.R
 
 // walkState instantiates conjuncts greedily along a type walk.
 type walkState struct {
-	g    *Generator
+	w    *worker
 	node int // current G_S identity node
 }
 
-func (g *Generator) newWalk() walkState {
-	start := g.startNodes[g.rng.Intn(len(g.startNodes))]
-	return walkState{g: g, node: start}
+func (w *worker) newWalk() walkState {
+	start := w.g.startNodes[w.rng.Intn(len(w.g.startNodes))]
+	return walkState{w: w, node: start}
 }
 
-func (g *Generator) walkFromType(t int) walkState {
-	return walkState{g: g, node: g.sg.IdentityNode(t)}
+func (w *worker) walkFromType(t int) walkState {
+	return walkState{w: w, node: w.g.sg.IdentityNode(t)}
 }
 
 // typeOf returns the node type at the walk position.
-func (w *walkState) typeOf() int { return w.g.sg.Nodes[w.node].Type }
+func (ws *walkState) typeOf() int { return ws.w.g.sg.Nodes[ws.node].Type }
 
 // step instantiates one conjunct expression and advances the walk.
 // With probability p_r the conjunct is starred and the walk stays on
 // the same type.
-func (w *walkState) step(window query.Interval, allowStar bool) (regpath.Expr, bool) {
-	g := w.g
-	if allowStar && g.rng.Float64() < g.cfg.RecursionProb {
-		expr, ok := g.starExpr(w.node, window)
+func (ws *walkState) step(window query.Interval, allowStar bool) (regpath.Expr, bool) {
+	w := ws.w
+	sg := w.g.sg
+	if allowStar && w.rng.Float64() < w.g.cfg.RecursionProb {
+		expr, ok := w.starExpr(ws.node, window)
 		if ok {
 			return expr, true
 		}
 		// No loop back to this type: fall through to a plain step.
 	}
-	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
-	first, end, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
+	numDisjuncts := w.interval(w.g.cfg.Size.Disjuncts)
+	first, end, ok := sg.SamplePathBetweenSets(w.rng, ws.node,
 		func(int) bool { return true }, window.Min, window.Max)
 	if !ok {
 		return regpath.Expr{}, false
 	}
-	endType := g.sg.Nodes[end].Type
+	endType := sg.Nodes[end].Type
 	paths := []regpath.Path{first}
 	for d := 1; d < numDisjuncts; d++ {
-		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
-			func(v int) bool { return g.sg.Nodes[v].Type == endType },
+		p, _, ok := sg.SamplePathBetweenSets(w.rng, ws.node,
+			func(v int) bool { return sg.Nodes[v].Type == endType },
 			window.Min, window.Max)
 		if !ok {
 			break
@@ -142,19 +140,20 @@ func (w *walkState) step(window query.Interval, allowStar bool) (regpath.Expr, b
 			paths = append(paths, p)
 		}
 	}
-	w.node = g.sg.IdentityNode(endType)
+	ws.node = sg.IdentityNode(endType)
 	return regpath.Expr{Paths: paths}, true
 }
 
 // stepToType instantiates one conjunct constrained to end on a given
 // type (used to close cycles).
-func (w *walkState) stepToType(window query.Interval, endType int) (regpath.Expr, bool) {
-	g := w.g
-	numDisjuncts := g.interval(g.cfg.Size.Disjuncts)
+func (ws *walkState) stepToType(window query.Interval, endType int) (regpath.Expr, bool) {
+	w := ws.w
+	sg := w.g.sg
+	numDisjuncts := w.interval(w.g.cfg.Size.Disjuncts)
 	var paths []regpath.Path
 	for d := 0; d < numDisjuncts; d++ {
-		p, _, ok := g.sg.SamplePathBetweenSets(g.rng, w.node,
-			func(v int) bool { return g.sg.Nodes[v].Type == endType },
+		p, _, ok := sg.SamplePathBetweenSets(w.rng, ws.node,
+			func(v int) bool { return sg.Nodes[v].Type == endType },
 			window.Min, window.Max)
 		if !ok {
 			if d == 0 {
@@ -166,17 +165,17 @@ func (w *walkState) stepToType(window query.Interval, endType int) (regpath.Expr
 			paths = append(paths, p)
 		}
 	}
-	w.node = g.sg.IdentityNode(endType)
+	ws.node = sg.IdentityNode(endType)
 	return regpath.Expr{Paths: paths}, true
 }
 
 // plainChain: (?x0,P1,?x1), (?x1,P2,?x2), ...
-func (g *Generator) plainChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
-	w := g.newWalk()
+func (w *worker) plainChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	ws := w.newWalk()
 	var body []query.Conjunct
 	cur := query.Var(0)
 	for i := 0; i < numConjuncts; i++ {
-		expr, ok := w.step(window, true)
+		expr, ok := ws.step(window, true)
 		if !ok {
 			return query.Rule{}, false
 		}
@@ -188,13 +187,13 @@ func (g *Generator) plainChain(numConjuncts int, window query.Interval) (query.R
 
 // plainStar: all conjuncts share the starting variable:
 // (?x0,P1,?x1), (?x0,P2,?x2), ...
-func (g *Generator) plainStar(numConjuncts int, window query.Interval) (query.Rule, bool) {
-	center := g.newWalk()
+func (w *worker) plainStar(numConjuncts int, window query.Interval) (query.Rule, bool) {
+	center := w.newWalk()
 	centerType := center.typeOf()
 	var body []query.Conjunct
 	for i := 0; i < numConjuncts; i++ {
-		w := g.walkFromType(centerType)
-		expr, ok := w.step(window, true)
+		ws := w.walkFromType(centerType)
+		expr, ok := ws.step(window, true)
 		if !ok {
 			return query.Rule{}, false
 		}
@@ -204,13 +203,13 @@ func (g *Generator) plainStar(numConjuncts int, window query.Interval) (query.Ru
 }
 
 // plainCycle: two chains sharing both endpoint variables.
-func (g *Generator) plainCycle(numConjuncts int, window query.Interval) (query.Rule, bool) {
+func (w *worker) plainCycle(numConjuncts int, window query.Interval) (query.Rule, bool) {
 	if numConjuncts < 2 {
 		// A 1-conjunct cycle is a self-loop (?x0, P, ?x0); the schema
 		// must admit a path returning to the start type.
-		w := g.newWalk()
-		t := w.typeOf()
-		expr, ok := w.stepToType(window, t)
+		ws := w.newWalk()
+		t := ws.typeOf()
+		expr, ok := ws.stepToType(window, t)
 		if !ok {
 			return query.Rule{}, false
 		}
@@ -220,32 +219,32 @@ func (g *Generator) plainCycle(numConjuncts int, window query.Interval) (query.R
 	c2 := numConjuncts - c1
 
 	// Forward chain x0 .. xm.
-	w := g.newWalk()
-	startType := w.typeOf()
+	ws := w.newWalk()
+	startType := ws.typeOf()
 	var body []query.Conjunct
 	cur := query.Var(0)
 	for i := 0; i < c1; i++ {
-		expr, ok := w.step(window, true)
+		expr, ok := ws.step(window, true)
 		if !ok {
 			return query.Rule{}, false
 		}
 		body = append(body, query.Conjunct{Src: cur, Dst: cur + 1, Expr: expr})
 		cur++
 	}
-	endVar, endType := cur, w.typeOf()
+	endVar, endType := cur, ws.typeOf()
 
 	// Second chain x0 -> ... -> xm with fresh intermediates; the last
 	// conjunct is constrained to land on the end type.
-	w2 := g.walkFromType(startType)
+	ws2 := w.walkFromType(startType)
 	prev := query.Var(0)
 	for i := 0; i < c2; i++ {
 		last := i == c2-1
 		var expr regpath.Expr
 		var ok bool
 		if last {
-			expr, ok = w2.stepToType(window, endType)
+			expr, ok = ws2.stepToType(window, endType)
 		} else {
-			expr, ok = w2.step(window, false)
+			expr, ok = ws2.step(window, false)
 		}
 		if !ok {
 			return query.Rule{}, false
@@ -261,27 +260,27 @@ func (g *Generator) plainCycle(numConjuncts int, window query.Interval) (query.R
 }
 
 // plainStarChain: a chain with star branches hanging off its joints.
-func (g *Generator) plainStarChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
+func (w *worker) plainStarChain(numConjuncts int, window query.Interval) (query.Rule, bool) {
 	chainLen := (numConjuncts + 1) / 2
 	branches := numConjuncts - chainLen
 
-	w := g.newWalk()
+	ws := w.newWalk()
 	var body []query.Conjunct
-	varTypes := []int{w.typeOf()} // type of x0, x1, ...
+	varTypes := []int{ws.typeOf()} // type of x0, x1, ...
 	cur := query.Var(0)
 	for i := 0; i < chainLen; i++ {
-		expr, ok := w.step(window, true)
+		expr, ok := ws.step(window, true)
 		if !ok {
 			return query.Rule{}, false
 		}
 		body = append(body, query.Conjunct{Src: cur, Dst: cur + 1, Expr: expr})
-		varTypes = append(varTypes, w.typeOf())
+		varTypes = append(varTypes, ws.typeOf())
 		cur++
 	}
 	nextVar := cur + 1
 	for b := 0; b < branches; b++ {
-		at := g.rng.Intn(len(varTypes))
-		wb := g.walkFromType(varTypes[at])
+		at := w.rng.Intn(len(varTypes))
+		wb := w.walkFromType(varTypes[at])
 		expr, ok := wb.step(window, true)
 		if !ok {
 			return query.Rule{}, false

@@ -1,0 +1,205 @@
+package querygen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gmark/internal/query"
+	"gmark/internal/translate"
+	"gmark/internal/workload"
+)
+
+// QuerySink consumes the queries produced by the emission stage. The
+// pipeline delivers queries in ascending index order from a single
+// goroutine, for any worker count — so a sink observes the identical
+// call sequence for a given seed and needs no internal locking.
+type QuerySink interface {
+	// AddQuery consumes the index-th query of the workload.
+	AddQuery(index int, q *query.Query) error
+	// Flush finalizes the sink after the last query.
+	Flush() error
+}
+
+// SliceSink materializes the workload in memory — the classical
+// Generate behavior.
+type SliceSink struct {
+	Queries []*query.Query
+}
+
+// AddQuery implements QuerySink.
+func (s *SliceSink) AddQuery(index int, q *query.Query) error {
+	s.Queries = append(s.Queries, q)
+	return nil
+}
+
+// Flush implements QuerySink.
+func (s *SliceSink) Flush() error { return nil }
+
+// ProfileSink streams queries into a workload diversity profile
+// without materializing the workload: profiling a million-query
+// workload needs memory for the histogram maps only.
+type ProfileSink struct {
+	acc *workload.Accumulator
+}
+
+// NewProfileSink returns an empty streaming profile sink.
+func NewProfileSink() *ProfileSink {
+	return &ProfileSink{acc: workload.NewAccumulator()}
+}
+
+// AddQuery implements QuerySink.
+func (s *ProfileSink) AddQuery(index int, q *query.Query) error {
+	s.acc.Add(q)
+	return nil
+}
+
+// Flush implements QuerySink.
+func (s *ProfileSink) Flush() error { return nil }
+
+// Profile returns the accumulated profile. Equivalent to materializing
+// the workload and calling workload.Analyze on it.
+func (s *ProfileSink) Profile() workload.Profile { return s.acc.Profile() }
+
+// SyntaxDirSink fans each query through internal/translate into
+// per-language files under one directory, the way the original gMark
+// tool emits its workload: query-<index>.<syntax> for every requested
+// syntax, each file one self-contained query preceded by a comment
+// header in that language's comment style.
+type SyntaxDirSink struct {
+	dir      string
+	syntaxes []translate.Syntax
+	count    int
+}
+
+// NewSyntaxDirSink creates dir (and parents) and returns a sink
+// writing the given syntaxes; nil or empty means all four. Leftover
+// query files of ANY syntax from a previous run are removed — even
+// syntaxes not requested this time — so the directory always describes
+// exactly one workload (a fresh sparql-only run must not leave another
+// workload's cypher files next to its output).
+func NewSyntaxDirSink(dir string, syntaxes []translate.Syntax) (*SyntaxDirSink, error) {
+	if len(syntaxes) == 0 {
+		syntaxes = translate.Syntaxes
+	}
+	for _, s := range syntaxes {
+		if !translate.Supported(s) {
+			return nil, fmt.Errorf("querygen: unknown syntax %q", s)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, s := range translate.Syntaxes {
+		stale, err := filepath.Glob(filepath.Join(dir, "query-*."+string(s)))
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &SyntaxDirSink{dir: dir, syntaxes: syntaxes}, nil
+}
+
+// AddQuery implements QuerySink.
+func (s *SyntaxDirSink) AddQuery(index int, q *query.Query) error {
+	for _, syn := range s.syntaxes {
+		text, err := translate.To(syn, q, translate.Options{})
+		if err != nil {
+			return fmt.Errorf("querygen: query %d: %w", index, err)
+		}
+		var b strings.Builder
+		c := commentPrefix(syn)
+		fmt.Fprintf(&b, "%s gmark query %d: shape=%s", c, index, q.Shape)
+		if q.HasClass {
+			fmt.Fprintf(&b, " selectivity=%s", q.Class)
+		}
+		if q.Relaxed {
+			fmt.Fprintf(&b, " relaxed")
+		}
+		b.WriteByte('\n')
+		for _, r := range q.Rules {
+			fmt.Fprintf(&b, "%s   %s\n", c, r.String())
+		}
+		b.WriteString(text)
+		if !strings.HasSuffix(text, "\n") {
+			b.WriteByte('\n')
+		}
+		name := fmt.Sprintf("query-%d.%s", index, syn)
+		if err := os.WriteFile(filepath.Join(s.dir, name), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	s.count++
+	return nil
+}
+
+// Flush implements QuerySink. Files are written eagerly per query, so
+// there is nothing left to finalize.
+func (s *SyntaxDirSink) Flush() error { return nil }
+
+// Count returns the number of queries written.
+func (s *SyntaxDirSink) Count() int { return s.count }
+
+// Dir returns the output directory.
+func (s *SyntaxDirSink) Dir() string { return s.dir }
+
+// Syntaxes returns the emitted syntaxes.
+func (s *SyntaxDirSink) Syntaxes() []translate.Syntax { return s.syntaxes }
+
+// commentPrefix returns the line-comment marker of a syntax (used for
+// the per-file header so every emitted file parses in its language).
+func commentPrefix(s translate.Syntax) string {
+	switch s {
+	case translate.OpenCypher:
+		return "//"
+	case translate.PostgreSQL:
+		return "--"
+	case translate.Datalog:
+		return "%"
+	default: // SPARQL
+		return "#"
+	}
+}
+
+// DiscardSink drops queries; used by benchmarks and scalability
+// experiments to measure emission cost without sink cost.
+type DiscardSink struct{}
+
+// AddQuery implements QuerySink.
+func (DiscardSink) AddQuery(int, *query.Query) error { return nil }
+
+// Flush implements QuerySink.
+func (DiscardSink) Flush() error { return nil }
+
+// multiSink fans every query out to several sinks in order.
+type multiSink []QuerySink
+
+// MultiSink combines sinks: each query (and the final Flush) is
+// delivered to every sink in argument order, stopping on the first
+// error.
+func MultiSink(sinks ...QuerySink) QuerySink { return multiSink(sinks) }
+
+// AddQuery implements QuerySink.
+func (m multiSink) AddQuery(index int, q *query.Query) error {
+	for _, s := range m {
+		if err := s.AddQuery(index, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements QuerySink.
+func (m multiSink) Flush() error {
+	for _, s := range m {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,11 @@ type TypeEdge struct {
 // Estimator precomputes everything needed to estimate selectivity
 // classes of path expressions and binary chain queries against one
 // schema.
+//
+// Concurrency contract: an Estimator is immutable after NewEstimator
+// returns — every method only reads the precomputed analysis — so one
+// Estimator may be shared by any number of goroutines without locking
+// (the query-generation pipeline relies on this).
 type Estimator struct {
 	s     *schema.Schema
 	kinds []NodeKind

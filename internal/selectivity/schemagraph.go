@@ -24,6 +24,15 @@ type SelEdge struct {
 // SchemaGraph bundles the three data structures of Section 5.2.3: the
 // schema graph G_S, the all-pairs distance matrix D over its nodes,
 // and, per workload length interval, the selectivity graph G_sel.
+//
+// Concurrency contract: a SchemaGraph is immutable after
+// NewSchemaGraph returns. All sampling methods (SamplePathTo,
+// SamplePathBetween, SamplePathBetweenSets, CountPathsTo, Selectivity)
+// only read the graph; their randomness comes exclusively from the
+// *rand.Rand the caller passes in. Concurrent use is therefore safe as
+// long as each goroutine brings its own RNG — which is exactly how the
+// query-generation pipeline's per-query workers operate. The same
+// holds for SelectivityGraph and its Walk methods.
 type SchemaGraph struct {
 	est   *Estimator
 	Nodes []SelNode

@@ -1,0 +1,17 @@
+// Package splitmix derives deterministic per-unit RNG sub-seeds for
+// the generation pipelines. Both graph generation (one sub-seed per
+// eta constraint) and workload generation (one per query, plus the
+// planning stream) share this single definition, so the cross-package
+// determinism contract — same seed, same output, any worker count —
+// rests on one function.
+package splitmix
+
+// SubSeed derives the deterministic RNG seed of unit index from a run
+// seed, using the splitmix64 finalizer so adjacent indices land in
+// statistically independent stream positions.
+func SubSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -32,6 +32,30 @@ const (
 // Syntaxes lists all supported output syntaxes.
 var Syntaxes = []Syntax{SPARQL, OpenCypher, PostgreSQL, Datalog}
 
+// Supported reports whether s names a supported syntax.
+func Supported(s Syntax) bool {
+	switch s {
+	case SPARQL, OpenCypher, PostgreSQL, Datalog:
+		return true
+	}
+	return false
+}
+
+// ParseSyntax maps a syntax name (or common alias) to a Syntax.
+func ParseSyntax(name string) (Syntax, error) {
+	switch strings.ToLower(name) {
+	case "sparql":
+		return SPARQL, nil
+	case "cypher", "opencypher":
+		return OpenCypher, nil
+	case "sql", "postgres", "postgresql":
+		return PostgreSQL, nil
+	case "datalog":
+		return Datalog, nil
+	}
+	return "", fmt.Errorf("translate: unknown syntax %q", name)
+}
+
 // Options adjusts the rendered query.
 type Options struct {
 	// Count wraps the query in the count(distinct(v)) aggregate used by

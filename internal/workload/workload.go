@@ -39,55 +39,83 @@ type Profile struct {
 	PredicateUses map[string]int
 }
 
-// Analyze profiles the workload.
+// Analyze profiles a materialized workload. Streaming callers (e.g.
+// the query-generation pipeline's profile sink) use an Accumulator
+// directly; both paths produce identical profiles.
 func Analyze(queries []*query.Query) Profile {
-	p := Profile{
-		Count:         len(queries),
-		ByShape:       map[query.Shape]int{},
-		ByClass:       map[query.SelectivityClass]int{},
-		ArityHist:     map[int]int{},
-		RuleHist:      map[int]int{},
-		ConjunctHist:  map[int]int{},
-		DisjunctHist:  map[int]int{},
-		LengthHist:    map[int]int{},
-		PredicateUses: map[string]int{},
-	}
-	seen := map[string]bool{}
+	a := NewAccumulator()
 	for _, q := range queries {
-		key := q.String()
-		if !seen[key] {
-			seen[key] = true
-			p.Distinct++
-		}
-		p.ByShape[q.Shape]++
-		if q.HasClass {
-			p.ByClass[q.Class]++
-		} else {
-			p.Unclassed++
-		}
-		if q.HasRecursion() {
-			p.Recursive++
-		}
-		if q.Relaxed {
-			p.Relaxed++
-		}
-		p.ArityHist[q.Arity()]++
-		p.RuleHist[len(q.Rules)]++
-		for _, r := range q.Rules {
-			p.ConjunctHist[len(r.Body)]++
-			for _, c := range r.Body {
-				p.DisjunctHist[c.Expr.NumDisjuncts()]++
-				for _, path := range c.Expr.Paths {
-					p.LengthHist[len(path)]++
-				}
+		a.Add(q)
+	}
+	return a.Profile()
+}
+
+// Accumulator builds a Profile incrementally, one query at a time, so
+// a workload can be profiled while it streams out of the generator
+// without ever being materialized. Not safe for concurrent use.
+type Accumulator struct {
+	p    Profile
+	seen map[string]bool
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		p: Profile{
+			ByShape:       map[query.Shape]int{},
+			ByClass:       map[query.SelectivityClass]int{},
+			ArityHist:     map[int]int{},
+			RuleHist:      map[int]int{},
+			ConjunctHist:  map[int]int{},
+			DisjunctHist:  map[int]int{},
+			LengthHist:    map[int]int{},
+			PredicateUses: map[string]int{},
+		},
+		seen: map[string]bool{},
+	}
+}
+
+// Add folds one query into the profile.
+func (a *Accumulator) Add(q *query.Query) {
+	p := &a.p
+	p.Count++
+	key := q.String()
+	if !a.seen[key] {
+		a.seen[key] = true
+		p.Distinct++
+	}
+	p.ByShape[q.Shape]++
+	if q.HasClass {
+		p.ByClass[q.Class]++
+	} else {
+		p.Unclassed++
+	}
+	if q.HasRecursion() {
+		p.Recursive++
+	}
+	if q.Relaxed {
+		p.Relaxed++
+	}
+	p.ArityHist[q.Arity()]++
+	p.RuleHist[len(q.Rules)]++
+	for _, r := range q.Rules {
+		p.ConjunctHist[len(r.Body)]++
+		for _, c := range r.Body {
+			p.DisjunctHist[c.Expr.NumDisjuncts()]++
+			for _, path := range c.Expr.Paths {
+				p.LengthHist[len(path)]++
 			}
 		}
-		for _, name := range q.Predicates() {
-			p.PredicateUses[name]++
-		}
 	}
-	return p
+	for _, name := range q.Predicates() {
+		p.PredicateUses[name]++
+	}
 }
+
+// Profile returns the profile accumulated so far. The returned value
+// shares its maps with the accumulator; call it once, after the last
+// Add.
+func (a *Accumulator) Profile() Profile { return a.p }
 
 // CoverageRatio returns the fraction of the given predicate alphabet
 // mentioned by at least one query.
