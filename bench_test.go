@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"gmark/internal/dist"
 	"gmark/internal/engines"
 	"gmark/internal/eval"
 	"gmark/internal/graph"
@@ -18,6 +19,7 @@ import (
 	"gmark/internal/query"
 	"gmark/internal/querygen"
 	"gmark/internal/regpath"
+	"gmark/internal/schema"
 	"gmark/internal/selectivity"
 	"gmark/internal/translate"
 	"gmark/internal/usecases"
@@ -293,6 +295,42 @@ func BenchmarkGenerateParallelism(b *testing.B) {
 			var edges int
 			for i := 0; i < b.N; i++ {
 				g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 1, Parallelism: mode.par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkGenerateSharded measures intra-constraint sharding on a
+// single-dominant-constraint schema — the shape that serialized the
+// pre-shard pipeline on one worker regardless of Parallelism. Each
+// granularity fixes its own instance; rows record throughput per
+// shard size (sharding off / auto / fine).
+func BenchmarkGenerateSharded(b *testing.B) {
+	cfg := &schema.GraphConfig{
+		Nodes: 200_000,
+		Schema: schema.Schema{
+			Types:      []schema.NodeType{{Name: "user", Occurrence: schema.Proportion(1)}},
+			Predicates: []schema.Predicate{{Name: "knows", Occurrence: schema.Proportion(1)}},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "user", Target: "user", Predicate: "knows",
+					In: dist.NewZipfian(2.0), Out: dist.NewGaussian(5, 2)},
+			},
+		},
+	}
+	for _, mode := range []struct {
+		name       string
+		shardEdges int
+	}{{"shard-off", -1}, {"shard-auto", 0}, {"shard-16K", 16 << 10}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 1, ShardEdges: mode.shardEdges})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -8,7 +8,7 @@
 //	gmark-bench -exp all -full         # everything at paper scale
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
-// qgen-scal, gen-scal, query-scal, all.
+// qgen-scal, gen-scal, gen-shard, query-scal, all.
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 	log.SetPrefix("gmark-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, query-scal, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, all)")
 		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
@@ -65,7 +65,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "query-scal", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -133,6 +133,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderGenScalability(os.Stdout, rows)
+	case "gen-shard":
+		rows, err := experiments.GenShardScalability(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderGenShardScalability(os.Stdout, rows)
 	case "query-scal":
 		rows, err := experiments.WorkloadScalability(opt)
 		if err != nil {

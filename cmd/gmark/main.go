@@ -25,6 +25,7 @@ import (
 	"gmark/internal/gconfig"
 	"gmark/internal/graphgen"
 	"gmark/internal/graphstat"
+	"gmark/internal/manifest"
 	"gmark/internal/query"
 	"gmark/internal/querygen"
 	"gmark/internal/schema"
@@ -50,9 +51,13 @@ func main() {
 		profile     = flag.Bool("profile", false, "print the workload diversity profile to stderr (streamed; the workload is never re-scanned)")
 		stream      = flag.Bool("stream", false, "stream the graph to disk without materializing it (for very large instances)")
 		par         = flag.Int("parallelism", 0, "graph- and workload-generation workers (0 = all cores; output is seed-deterministic for any value)")
+		shardEdges  = flag.Int("shard-edges", 0, "target edges per graph-emission shard (0 = default 128K; negative disables intra-constraint sharding)")
+		partition   = flag.Bool("partition", false, "also write the graph partitioned by predicate (one edge file each + index.json) under <out>/partitioned")
+		csrSpill    = flag.Bool("csr-spill", false, "also spill the graph as node-range-sharded binary CSR files under <out>/csr")
 		verify      = flag.Bool("verify", false, "check the generated instance's degree statistics against the configured distributions (materialized path only)")
 		workloadOut = flag.String("workload-out", "", "directory for per-query translated files (default <out>/queries)")
 		syntax      = flag.String("syntax", "sparql,cypher,sql,datalog", "comma-separated translation syntaxes for the per-query files, or empty to skip translation")
+		manifestOut = flag.String("manifest", manifest.DefaultName, "filename (relative to -out) of the JSON run manifest indexing all artifacts; empty disables")
 	)
 	flag.Parse()
 
@@ -112,15 +117,55 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The run manifest accumulates artifact locations as they are
+	// written; paths are stored relative to the output directory.
+	man := manifest.Manifest{Seed: *seed, Config: *usecase}
+	if *configPath != "" {
+		man.Config = *configPath
+	}
+
+	var partDir, csrDir string
+	if *partition {
+		partDir = filepath.Join(*outDir, "partitioned")
+	}
+	if *csrSpill {
+		csrDir = filepath.Join(*outDir, "csr")
+	}
+
 	// Graph generation: materialized by default, streaming for very
-	// large instances. Both paths run the same pipeline; only the sink
-	// differs.
-	genOpt := graphgen.Options{Seed: *seed, Parallelism: *par}
+	// large instances. Both paths run the same sharded pipeline; only
+	// the sinks differ — and one pass can feed several of them.
+	genOpt := graphgen.Options{Seed: *seed, Parallelism: *par, ShardEdges: *shardEdges}
+	graphPath := filepath.Join(*outDir, "graph.txt")
+	man.Graph.EdgeList = "graph.txt"
 	if *stream {
-		err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
-			stats, err := graphgen.Stream(gcfg, genOpt, w)
+		if *csrSpill {
+			log.Printf("warning: -csr-spill buffers the whole edge set in memory until the end of the run; combined with -stream the run is no longer constant-memory")
+		}
+		err := writeFile(graphPath, func(w *os.File) error {
+			ws, err := graphgen.NewWriterSink(w, gcfg)
+			if err != nil {
+				return err
+			}
+			sinks := []graphgen.EdgeSink{ws}
+			if partDir != "" {
+				ps, err := graphgen.NewPartitionedSink(partDir, gcfg)
+				if err != nil {
+					return err
+				}
+				sinks = append(sinks, ps)
+			}
+			if csrDir != "" {
+				cs, err := graphgen.NewCSRSpillSink(csrDir, gcfg, 0)
+				if err != nil {
+					return err
+				}
+				sinks = append(sinks, cs)
+			}
+			n, err := graphgen.Emit(gcfg, genOpt, graphgen.MultiEdgeSink(sinks...))
 			if err == nil {
-				log.Printf("graph (streamed): %d nodes, %d edges", stats.Nodes, stats.Edges)
+				log.Printf("graph (streamed): %d nodes, %d edges", ws.Nodes(), n)
+				man.Graph.Nodes, man.Graph.Edges = ws.Nodes(), n
 			}
 			return err
 		})
@@ -134,11 +179,40 @@ func main() {
 			log.Printf("note: -verify requires the materialized path; skipped under -stream")
 		}
 	} else {
-		g, err := graphgen.Generate(gcfg, genOpt)
+		// One pipeline pass feeds the in-memory graph and every extra
+		// output format with batch delivery; the graph is frozen after
+		// the pass drains (exactly what graphgen.Generate does).
+		gs, err := graphgen.NewGraphSinkFor(gcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		sinks := []graphgen.EdgeSink{gs}
+		if partDir != "" {
+			ps, err := graphgen.NewPartitionedSink(partDir, gcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sinks = append(sinks, ps)
+		}
+		if _, err := graphgen.Emit(gcfg, genOpt, graphgen.MultiEdgeSink(sinks...)); err != nil {
+			log.Fatal(err)
+		}
+		g := gs.Graph()
+		g.Freeze()
 		log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+		man.Graph.Nodes, man.Graph.Edges = g.NumNodes(), g.NumEdges()
+		if partDir != "" {
+			log.Printf("partitioned: %d predicates in %s", g.NumPredicates(), partDir)
+		}
+		if csrDir != "" {
+			// The frozen graph already holds both CSR directions;
+			// spill those instead of buffering a second edge copy in a
+			// CSRSpillSink and rebuilding the adjacency.
+			if err := graphgen.WriteCSRSpillFromGraph(csrDir, g, 0); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("csr spill: %d predicates in %s", g.NumPredicates(), csrDir)
+		}
 		if *verify {
 			reports := graphstat.Check(g, gcfg, *checkTol)
 			bad := 0
@@ -154,7 +228,7 @@ func main() {
 				log.Printf("verify: all %d distribution sides consistent with the configuration", len(reports))
 			}
 		}
-		if err := writeFile(filepath.Join(*outDir, "graph.txt"), func(w *os.File) error {
+		if err := writeFile(graphPath, func(w *os.File) error {
 			return g.WriteEdgeList(w)
 		}); err != nil {
 			log.Fatal(err)
@@ -165,7 +239,14 @@ func main() {
 			}); err != nil {
 				log.Fatal(err)
 			}
+			man.Graph.NTriples = "graph.nt"
 		}
+	}
+	if partDir != "" {
+		man.Graph.PartitionedDir = "partitioned"
+	}
+	if csrDir != "" {
+		man.Graph.CSRSpillDir = "csr"
 	}
 
 	// Workload generation: one pipeline pass fans queries out to every
@@ -215,9 +296,26 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	man.Workload.Queries = n
+	man.Workload.XML = "workload.xml"
 	if dirSink != nil {
 		log.Printf("translations: %d queries x %d syntaxes in %s",
 			dirSink.Count(), len(dirSink.Syntaxes()), dirSink.Dir())
+		man.Workload.TranslationsDir = manifest.Rel(*outDir, dirSink.Dir())
+		man.Workload.FilePattern = manifest.QueryFilePattern
+		for _, s := range dirSink.Syntaxes() {
+			man.Workload.Syntaxes = append(man.Workload.Syntaxes, string(s))
+		}
+	}
+	if *manifestOut != "" {
+		path := *manifestOut
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(*outDir, path)
+		}
+		if err := manifest.Write(path, man); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("manifest: %s", path)
 	}
 	log.Printf("wrote %s", *outDir)
 }

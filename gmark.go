@@ -36,6 +36,7 @@ import (
 	"gmark/internal/eval"
 	"gmark/internal/graph"
 	"gmark/internal/graphgen"
+	"gmark/internal/manifest"
 	"gmark/internal/query"
 	"gmark/internal/querygen"
 	"gmark/internal/regpath"
@@ -96,15 +97,53 @@ type (
 )
 
 // GenOptions tunes graph generation: Seed fixes the instance,
-// Parallelism sets the number of constraint-emission workers (0 =
+// Parallelism sets the number of shard-emission workers (0 =
 // GOMAXPROCS; output is identical for any worker count at a fixed
-// seed).
+// seed), and ShardEdges sets the intra-constraint shard granularity
+// (0 = default; shard boundaries never depend on the worker count, so
+// they select the instance, not the schedule).
 type GenOptions = graphgen.Options
 
-// EdgeSink receives generated edges; plug a custom one into EmitGraph
-// to route generation output anywhere (a database loader, a network
-// writer, ...).
-type EdgeSink = graphgen.EdgeSink
+// Graph-side sinks: edges stream out of the generation pipeline in a
+// deterministic order into an EdgeSink.
+type (
+	// EdgeSink receives generated edges; plug a custom one into
+	// EmitGraph to route generation output anywhere (a database
+	// loader, a network writer, ...).
+	EdgeSink = graphgen.EdgeSink
+	// GraphPartitionedSink writes one edge-list file per predicate
+	// plus a JSON index, for parallel downstream loading.
+	GraphPartitionedSink = graphgen.PartitionedSink
+	// GraphCSRSpillSink spills node-range-sharded binary CSR files
+	// (both directions) plus a manifest, for out-of-core evaluation.
+	GraphCSRSpillSink = graphgen.CSRSpillSink
+	// GraphPartitionIndex is the JSON index of a partitioned
+	// directory.
+	GraphPartitionIndex = graphgen.PartitionIndex
+	// GraphCSRSpill is an opened CSR spill directory.
+	GraphCSRSpill = graphgen.CSRSpill
+)
+
+// Graph sink constructors and loaders.
+var (
+	// NewGraphPartitionedSink opens a per-predicate partition
+	// directory for writing.
+	NewGraphPartitionedSink = graphgen.NewPartitionedSink
+	// NewGraphCSRSpillSink opens a CSR spill directory for writing
+	// (shardNodes 0 = default node-range width).
+	NewGraphCSRSpillSink = graphgen.NewCSRSpillSink
+	// LoadPartitionedGraph reads a partition directory back into a
+	// frozen in-memory graph, predicate-parallel.
+	LoadPartitionedGraph = graphgen.LoadPartitioned
+	// OpenGraphCSRSpill reads the manifest of a CSR spill directory.
+	OpenGraphCSRSpill = graphgen.OpenCSRSpill
+	// WriteGraphCSRSpill spills an already-frozen graph's adjacency
+	// into a CSR spill directory without rebuilding it.
+	WriteGraphCSRSpill = graphgen.WriteCSRSpillFromGraph
+	// MultiEdgeSink fans each edge out to several sinks, so one
+	// generation pass can feed several output formats.
+	MultiEdgeSink = graphgen.MultiEdgeSink
+)
 
 // GenerateGraph runs the linear-time generation algorithm of Fig. 5 on
 // the configuration with the given seed, using all available cores.
@@ -301,6 +340,24 @@ type (
 
 // AnalyzeWorkload profiles a set of generated queries.
 func AnalyzeWorkload(queries []*Query) WorkloadProfile { return workload.Analyze(queries) }
+
+// Run manifests (the coupled graph+workload JSON index).
+type (
+	// RunManifest indexes every artifact of one generation run for
+	// downstream harnesses.
+	RunManifest = manifest.Manifest
+	// RunManifestGraph is the manifest's graph section.
+	RunManifestGraph = manifest.Graph
+	// RunManifestWorkload is the manifest's workload section.
+	RunManifestWorkload = manifest.Workload
+)
+
+var (
+	// WriteRunManifest stores a manifest as JSON.
+	WriteRunManifest = manifest.Write
+	// ReadRunManifest loads and validates a manifest.
+	ReadRunManifest = manifest.Read
+)
 
 // StreamGraph generates an instance directly to w in edge-list form
 // without materializing it, for very large configurations (see

@@ -391,3 +391,28 @@ func TestQGenScalabilitySmoke(t *testing.T) {
 		t.Error("render output incomplete")
 	}
 }
+
+func TestGenShardScalabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := fastOpts()
+	opt.Sizes = []int{5000}
+	rows, err := GenShardScalability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 scenarios x 3 shard granularities
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Edges == 0 || r.Sequential <= 0 || r.Parallel <= 0 {
+			t.Errorf("%s shard=%d: %+v", r.Scenario, r.ShardEdges, r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderGenShardScalability(&buf, rows)
+	if !strings.Contains(buf.String(), "shard") {
+		t.Error("render output incomplete")
+	}
+}

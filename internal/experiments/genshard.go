@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"gmark/internal/dist"
+	"gmark/internal/graphgen"
+	"gmark/internal/schema"
+	"gmark/internal/usecases"
+)
+
+// ShardScalRow reports the intra-constraint sharding study for one
+// (scenario, shard granularity) pair: wall-clock time through the
+// pipeline with one worker and with all cores at that granularity.
+// Unlike gen-scal — which varies only the worker count — this
+// experiment exists for schemas a worker count cannot help on its
+// own: a single dominant constraint serializes the unsharded pipeline
+// no matter how many workers are available.
+type ShardScalRow struct {
+	Scenario   string
+	Nodes      int
+	Edges      int
+	Workers    int
+	ShardEdges int // 0 = auto, negative = sharding disabled
+	Sequential time.Duration
+	Parallel   time.Duration
+}
+
+// Speedup is Sequential/Parallel.
+func (r ShardScalRow) Speedup() float64 {
+	if r.Parallel <= 0 {
+		return 0
+	}
+	return float64(r.Sequential) / float64(r.Parallel)
+}
+
+// shardSocialConfig is the degenerate schema the sharding refactor
+// targets: every edge belongs to the one Zipfian-heavy "knows"
+// constraint, so inter-constraint parallelism has nothing to
+// distribute.
+func shardSocialConfig(n int) *schema.GraphConfig {
+	return &schema.GraphConfig{
+		Nodes: n,
+		Schema: schema.Schema{
+			Types:      []schema.NodeType{{Name: "user", Occurrence: schema.Proportion(1)}},
+			Predicates: []schema.Predicate{{Name: "knows", Occurrence: schema.Proportion(1)}},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "user", Target: "user", Predicate: "knows",
+					In: dist.NewZipfian(2.0), Out: dist.NewGaussian(5, 2)},
+			},
+		},
+	}
+}
+
+// GenShardScalability measures graph generation (emission plus CSR
+// freeze) at several shard granularities: sharding disabled (the
+// pre-shard pipeline), the auto default, and a fine 16K-edge override,
+// on a single-dominant-constraint social schema and on the built-in
+// use case with the heaviest constraint skew (wd). Output at a fixed
+// granularity is identical for any worker count, so each row is a
+// pure throughput comparison.
+func GenShardScalability(opt Options) ([]ShardScalRow, error) {
+	opt = opt.withDefaults()
+	size := 200_000
+	if opt.Full {
+		size = 1_000_000
+	}
+	if len(opt.Sizes) > 0 {
+		size = opt.Sizes[0]
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type scenario struct {
+		name string
+		cfg  *schema.GraphConfig
+	}
+	scenarios := []scenario{{"social", shardSocialConfig(size)}}
+	wd, err := usecases.ByName("wd", size/10)
+	if err != nil {
+		return nil, err
+	}
+	scenarios = append(scenarios, scenario{"wd", wd})
+
+	var rows []ShardScalRow
+	for _, sc := range scenarios {
+		for _, shardEdges := range []int{-1, 0, 16 << 10} {
+			seq, edges, err := timeGenerate(sc.cfg, graphgen.Options{
+				Seed: opt.Seed, Parallelism: 1, ShardEdges: shardEdges})
+			if err != nil {
+				return nil, err
+			}
+			par, _, err := timeGenerate(sc.cfg, graphgen.Options{
+				Seed: opt.Seed, Parallelism: workers, ShardEdges: shardEdges})
+			if err != nil {
+				return nil, err
+			}
+			row := ShardScalRow{Scenario: sc.name, Nodes: sc.cfg.Nodes, Edges: edges,
+				Workers: workers, ShardEdges: shardEdges, Sequential: seq, Parallel: par}
+			rows = append(rows, row)
+			opt.progressf("gen-shard %s shard=%s: seq %v, %d workers %v (%.2fx)",
+				sc.name, shardLabel(shardEdges), seq, workers, par, row.Speedup())
+		}
+	}
+	return rows, nil
+}
+
+func timeGenerate(cfg *schema.GraphConfig, opt graphgen.Options) (time.Duration, int, error) {
+	start := time.Now()
+	g, err := graphgen.Generate(cfg, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), g.NumEdges(), nil
+}
+
+func shardLabel(shardEdges int) string {
+	switch {
+	case shardEdges < 0:
+		return "off"
+	case shardEdges == 0:
+		return "auto"
+	default:
+		return fmt.Sprintf("%d", shardEdges)
+	}
+}
+
+// RenderGenShardScalability prints the rows.
+func RenderGenShardScalability(w io.Writer, rows []ShardScalRow) {
+	fmt.Fprintf(w, "%-8s %10s %12s %8s %14s %14s %8s\n",
+		"", "nodes", "edges", "shard", "sequential", "parallel", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10d %12d %8s %14v %14v %7.2fx\n",
+			r.Scenario, r.Nodes, r.Edges, shardLabel(r.ShardEdges),
+			r.Sequential.Round(time.Millisecond),
+			r.Parallel.Round(time.Millisecond),
+			r.Speedup())
+	}
+}

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -243,5 +245,82 @@ func TestReadEdgeListEmptyGraph(t *testing.T) {
 	}
 	if g.NumNodes() != 3 || g.NumEdges() != 0 {
 		t.Errorf("empty graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestParallelCSRMatchesSequential pins the Freeze determinism
+// contract: the range-sharded parallel CSR build (atomic count, block
+// prefix-sum, atomic scatter, range-parallel sort) must produce
+// exactly the structure of the sequential build, including duplicate
+// edges and empty lists, for any worker count.
+func TestParallelCSRMatchesSequential(t *testing.T) {
+	const n, m = 257, 5000
+	rng := rand.New(rand.NewSource(99))
+	from := make([]int32, m)
+	to := make([]int32, m)
+	for i := range from {
+		// Skewed sources so some nodes are hot (contended cursors) and
+		// some lists stay empty; a few exact duplicates.
+		from[i] = int32(rng.Intn(n) * rng.Intn(2))
+		to[i] = int32(rng.Intn(n))
+		if i > 0 && rng.Intn(20) == 0 {
+			from[i], to[i] = from[i-1], to[i-1]
+		}
+	}
+	want := buildCSRSequential(n, from, to)
+	for _, workers := range []int{2, 3, 8} {
+		got := buildCSR(n, from, to, workers)
+		if !slices.Equal(got.off, want.off) {
+			t.Fatalf("workers=%d: offsets differ", workers)
+		}
+		if !slices.Equal(got.adj, want.adj) {
+			t.Fatalf("workers=%d: adjacency differs", workers)
+		}
+	}
+}
+
+// TestFreezeFewPredicatesParallel forces the few-predicate Freeze path
+// (intra-build node-range sharding) on a single-predicate graph and
+// checks the frozen adjacency against a sequentially frozen copy.
+func TestFreezeFewPredicatesParallel(t *testing.T) {
+	defer func(old int) { csrParallelMinEdges = old }(csrParallelMinEdges)
+	csrParallelMinEdges = 1 // force the parallel path on a tiny graph
+
+	build := func() *Graph {
+		g, err := New([]string{"u"}, []int{100}, []string{"p"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			g.AddEdge(int32(rng.Intn(100)), 0, int32(rng.Intn(100)))
+		}
+		g.Freeze()
+		return g
+	}
+	a, b := build(), build()
+	for v := int32(0); v < 100; v++ {
+		if !slices.Equal(a.Out(v, 0), b.Out(v, 0)) {
+			t.Fatalf("node %d: out lists differ across freezes", v)
+		}
+		if !slices.Equal(a.In(v, 0), b.In(v, 0)) {
+			t.Fatalf("node %d: in lists differ across freezes", v)
+		}
+		if !slices.IsSorted(a.Out(v, 0)) {
+			t.Fatalf("node %d: out list not sorted", v)
+		}
+	}
+}
+
+// TestBuildAdjacency covers the exported helper the CSR spill sink
+// writes its on-disk shards with.
+func TestBuildAdjacency(t *testing.T) {
+	from := []int32{2, 0, 2, 1}
+	to := []int32{3, 1, 0, 2}
+	off, adj := BuildAdjacency(4, from, to, 4)
+	wantOff := []int32{0, 1, 2, 4, 4}
+	wantAdj := []int32{1, 2, 0, 3}
+	if !slices.Equal(off, wantOff) || !slices.Equal(adj, wantAdj) {
+		t.Fatalf("got off=%v adj=%v, want off=%v adj=%v", off, adj, wantOff, wantAdj)
 	}
 }

@@ -3,30 +3,40 @@
 // pipeline:
 //
 //  1. Planning (plan.go): the schema's eta constraints are resolved
-//     into independent units of work — node-id ranges, predicate ids —
-//     and each constraint is assigned a deterministic RNG sub-seed
-//     derived from (Options.Seed, constraint index) with a splitmix64
-//     mix. No randomness is consumed during planning.
-//  2. Emission (this file): constraint workers run across
+//     into node-id ranges and predicate ids, and each constraint is
+//     split into emission shards — contiguous sub-ranges of its
+//     source/target nodes targeting Options.ShardEdges edges each —
+//     so a schema dominated by a single constraint still fans out
+//     across every worker. Each shard is assigned a deterministic RNG
+//     sub-seed derived with a splitmix64 mix from (Options.Seed,
+//     constraint index, shard index). No randomness is consumed
+//     during planning.
+//  2. Emission (this file): shard workers run across
 //     Options.Parallelism goroutines (default GOMAXPROCS). For each
-//     edge constraint eta(T1, T2, a) = (Din, Dout) a worker draws a
-//     source-occurrence vector from Dout and a target-occurrence
-//     vector from Din, shuffles both, and pairs them to produce
+//     edge constraint eta(T1, T2, a) = (Din, Dout) a shard draws a
+//     source-occurrence vector from Dout over its source sub-range
+//     and a target-occurrence vector from Din over its target
+//     sub-range, shuffles both, and pairs them to produce
 //     min(|vsrc|, |vtrg|) a-labeled edges. The heuristic never
 //     backtracks: when the two vectors disagree in length the surplus
 //     occurrences are dropped, which preserves the distribution
 //     *types* even if the exact parameters cannot all be honored (the
 //     generation problem is NP-complete, Theorem 3.6).
-//  3. Sinks (sink.go): edges flow into an EdgeSink. GraphSink builds
-//     an in-memory graph.Graph (Generate); WriterSink streams the
-//     textual edge-list format (Stream); callers can plug their own
-//     via Emit.
+//  3. Sinks (sink.go, partition.go, spill.go): edges flow into an
+//     EdgeSink. GraphSink builds an in-memory graph.Graph (Generate);
+//     WriterSink streams the textual edge-list format (Stream);
+//     PartitionedSink writes one edge-list file per predicate;
+//     CSRSpillSink spills node-range-sharded binary CSR files for
+//     out-of-core evaluation; callers can plug their own via Emit.
 //
-// Determinism is a hard invariant: a given (configuration, seed) pair
-// produces identical output regardless of worker count, because every
-// constraint owns an independent sub-seeded RNG and completed
-// constraint batches are flushed to the sink in ascending constraint
-// index.
+// Determinism is a hard invariant: a given (configuration, seed,
+// ShardEdges) triple produces identical output regardless of worker
+// count, because every shard owns an independent sub-seeded RNG,
+// shard boundaries never depend on the worker count or the machine,
+// and completed shard batches are flushed to the sink in ascending
+// (constraint, shard) order. A constraint that fits in one shard is
+// additionally byte-compatible with the historical unsharded
+// pipeline.
 package graphgen
 
 import (
@@ -47,11 +57,23 @@ type Options struct {
 	// Parallelism.
 	Seed int64
 
-	// Parallelism is the number of constraint-emission workers. Zero
+	// Parallelism is the number of shard-emission workers. Zero
 	// selects runtime.GOMAXPROCS(0); one forces the sequential path,
 	// which emits straight into the sink without batch buffers (lowest
 	// memory for streaming).
 	Parallelism int
+
+	// ShardEdges is the target number of edges per emission shard.
+	// Zero selects the default granularity (128K edges); a negative
+	// value disables intra-constraint sharding (one shard per
+	// constraint, the historical behavior). Constraints whose expected
+	// edge count fits inside one shard are emitted byte-identically to
+	// the unsharded pipeline. Shard boundaries depend only on the
+	// configuration and this value — never on Parallelism or the
+	// machine — so output is deterministic at any worker count, but
+	// different ShardEdges values select different (equally valid)
+	// instances of the same configuration.
+	ShardEdges int
 
 	// NaiveShuffle disables the paired-shuffle optimization and follows
 	// Fig. 5 literally (materialize both vectors, full Fisher-Yates on
@@ -92,63 +114,72 @@ func Generate(cfg *schema.GraphConfig, opt Options) (*graph.Graph, error) {
 }
 
 // Emit runs the generation pipeline into an arbitrary sink and returns
-// the number of edges delivered. Flush is called on the sink after the
-// last edge.
+// the number of edges delivered. Flush is ALWAYS called once the plan
+// is valid — even when emission fails — so sinks that own resources
+// (open partition files, writer pools) can release them; the emission
+// error takes precedence over a flush error.
 func Emit(cfg *schema.GraphConfig, opt Options, sink EdgeSink) (int, error) {
 	p, err := newPlan(cfg, opt)
 	if err != nil {
 		return 0, err
 	}
-	if err := p.run(sink); err != nil {
-		return 0, err
+	runErr := p.run(sink)
+	if runErr != nil {
+		abortSink(sink) // don't finalize indexes over partial output
 	}
-	return p.emitted, sink.Flush()
+	flushErr := sink.Flush()
+	if runErr != nil {
+		return 0, runErr
+	}
+	if flushErr != nil {
+		return 0, flushErr
+	}
+	return p.emitted, nil
 }
 
 // run executes the emission stage against the sink, sequentially or
 // across workers.
 func (p *plan) run(sink EdgeSink) error {
 	p.emitted = 0
-	if p.opt.workers() == 1 || len(p.constraints) <= 1 {
+	if p.opt.workers() == 1 || len(p.shards) <= 1 {
 		return p.runSequential(sink)
 	}
 	return p.runParallel(sink)
 }
 
-// runSequential emits every constraint in order, straight into the
-// sink. Peak memory is bounded by the largest single constraint's
-// occurrence vectors.
+// runSequential emits every shard in order, straight into the sink.
+// Peak memory is bounded by the largest single shard's occurrence
+// vectors.
 func (p *plan) runSequential(sink EdgeSink) error {
-	for i := range p.constraints {
-		cp := &p.constraints[i]
+	for i := range p.shards {
+		sp := &p.shards[i]
 		n := 0
-		err := cp.emit(p.opt, func(src, dst graph.NodeID) error {
+		err := sp.emit(p.opt, func(src, dst graph.NodeID) error {
 			n++
-			return sink.AddEdge(src, cp.pred, dst)
+			return sink.AddEdge(src, sp.cp.pred, dst)
 		})
 		if err != nil {
-			return cp.wrap(err)
+			return sp.wrap(err)
 		}
 		p.emitted += n
 	}
 	return nil
 }
 
-// runParallel fans constraints out across workers. Each worker buffers
-// its constraint's edges into a private batch; a single flusher
-// goroutine (the caller) consumes batches strictly in constraint-index
-// order, so the sink observes the same sequence as the sequential
-// path. Admission slots are released only after a batch has been
-// flushed, so in-flight memory — emitting plus emitted-but-unflushed
-// constraints — is bounded by the worker count times the largest
-// batch, not by the whole graph, even when an early constraint is the
-// slowest.
+// runParallel fans shards out across workers. Each worker buffers its
+// shard's edges into a private batch; a single flusher goroutine (the
+// caller) consumes batches strictly in (constraint, shard) order, so
+// the sink observes the same sequence as the sequential path.
+// Admission slots are released only after a batch has been flushed, so
+// in-flight memory — emitting plus emitted-but-unflushed shards — is
+// bounded by the worker count times the largest batch, not by the
+// whole graph, even when an early shard is the slowest.
 func (p *plan) runParallel(sink EdgeSink) error {
 	type result struct {
 		srcs, dsts []graph.NodeID
 		err        error
 	}
-	n := len(p.constraints)
+	n := len(p.shards)
 	results := make([]result, n)
 	done := make([]chan struct{}, n)
 	for i := range done {
@@ -160,21 +191,21 @@ func (p *plan) runParallel(sink EdgeSink) error {
 	// load, negligible against the RNG draws around it).
 	var aborted atomic.Bool
 
-	// Dispatcher: at most workers() constraints admitted at once.
-	// Workers publish into their private results slot; the close of
-	// done[i] orders the slot write before the flusher's read.
+	// Dispatcher: at most workers() shards admitted at once. Workers
+	// publish into their private results slot; the close of done[i]
+	// orders the slot write before the flusher's read.
 	sem := make(chan struct{}, p.opt.workers())
 	go func() {
 		for i := 0; i < n; i++ {
 			sem <- struct{}{}
 			go func(i int) {
 				defer close(done[i])
-				cp := &p.constraints[i]
+				sp := &p.shards[i]
 				r := &results[i]
-				expect := cp.expectedEdges()
+				expect := sp.expectedEdges()
 				r.srcs = make([]graph.NodeID, 0, expect)
 				r.dsts = make([]graph.NodeID, 0, expect)
-				r.err = cp.emit(p.opt, func(src, dst graph.NodeID) error {
+				r.err = sp.emit(p.opt, func(src, dst graph.NodeID) error {
 					if aborted.Load() {
 						return errAborted
 					}
@@ -193,13 +224,13 @@ func (p *plan) runParallel(sink EdgeSink) error {
 	for i := 0; i < n; i++ {
 		<-done[i]
 		r := &results[i]
-		cp := &p.constraints[i]
+		sp := &p.shards[i]
 		if firstErr == nil && r.err != nil {
-			firstErr = cp.wrap(r.err)
+			firstErr = sp.wrap(r.err)
 			aborted.Store(true)
 		}
 		if firstErr == nil {
-			if err := addBatch(sink, cp.pred, r.srcs, r.dsts); err != nil {
+			if err := addBatch(sink, sp.cp.pred, r.srcs, r.dsts); err != nil {
 				firstErr = err
 				aborted.Store(true)
 			} else {
@@ -207,53 +238,71 @@ func (p *plan) runParallel(sink EdgeSink) error {
 			}
 		}
 		results[i] = result{} // release the batch eagerly
-		<-sem                 // admit the next constraint only now
+		<-sem                 // admit the next shard only now
 	}
 	return firstErr
 }
 
-// errAborted marks work cancelled after another constraint already
-// failed; the flusher never reports it as the run's error because the
-// originating failure always carries a lower constraint index or
-// reached the sink first.
+// errAborted marks work cancelled after another shard already failed;
+// the flusher never reports it as the run's error because the
+// originating failure always carries a lower shard index or reached
+// the sink first.
 var errAborted = fmt.Errorf("generation aborted")
 
-// emit generates the edges of one constraint, invoking emitEdge once
-// per edge in a deterministic order governed only by the constraint's
-// sub-seed.
-func (cp *constraintPlan) emit(opt Options, emitEdge func(src, dst graph.NodeID) error) error {
-	if cp.nSrc == 0 || cp.nTrg == 0 {
+// emit generates the edges of one shard, invoking emitEdge once per
+// edge in a deterministic order governed only by the shard's sub-seed.
+//
+// A shard covering its constraint's full ranges reproduces the
+// unsharded algorithm exactly. A sub-range shard draws occurrence
+// vectors over its own node ranges; with both sides specified the two
+// sub-range vectors are paired against each other (range-stratified
+// pairing), which preserves every node's degree distribution exactly —
+// each node draws from the same Din/Dout as before — while the
+// min-truncation of Fig. 5 is applied per shard instead of globally
+// (the expected surplus lost this way is O(sqrt(edges per shard)) per
+// shard, negligible at the default granularity). The target stripe is
+// rotated against the source stripe (see appendShards), so the
+// stratification never produces block-diagonal or disconnected
+// instances. A non-specified side keeps uniform random pairing over
+// the full partner type, exactly as unsharded.
+func (sp *shardPlan) emit(opt Options, emitEdge func(src, dst graph.NodeID) error) error {
+	cp := sp.cp
+	nSrc, nTrg := sp.srcHi-sp.srcLo, sp.trgHi-sp.trgLo
+	if nSrc == 0 || nTrg == 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(cp.seed))
+	rng := rand.New(rand.NewSource(sp.seed))
 
-	vsrc, err := occurrenceVector(cp.c.Out, cp.nSrc, rng)
+	vsrc, err := occurrenceVector(cp.c.Out, nSrc, rng)
 	if err != nil {
 		return fmt.Errorf("out-distribution: %w", err)
 	}
-	vtrg, err := occurrenceVector(cp.c.In, cp.nTrg, rng)
+	vtrg, err := occurrenceVector(cp.c.In, nTrg, rng)
 	if err != nil {
 		return fmt.Errorf("in-distribution: %w", err)
 	}
 
-	srcOff, trgOff := cp.srcOff, cp.trgOff
+	srcOff := cp.srcOff + int32(sp.srcLo)
+	trgOff := cp.trgOff + int32(sp.trgLo)
 	switch {
 	case vsrc == nil && vtrg == nil:
 		// Validate() rejects this, but guard anyway.
 		return fmt.Errorf("both distributions non-specified")
 	case vsrc == nil:
 		// Out-distribution non-specified: each incoming occurrence is
-		// paired with a uniformly random source node.
+		// paired with a uniformly random source node over the whole
+		// source type.
 		for _, j := range vtrg {
-			if err := emitEdge(srcOff+int32(rng.Intn(cp.nSrc)), trgOff+j); err != nil {
+			if err := emitEdge(cp.srcOff+int32(rng.Intn(cp.nSrc)), trgOff+j); err != nil {
 				return err
 			}
 		}
 		return nil
 	case vtrg == nil:
-		// In-distribution non-specified: uniform random targets.
+		// In-distribution non-specified: uniform random targets over
+		// the whole target type.
 		for _, j := range vsrc {
-			if err := emitEdge(srcOff+j, trgOff+int32(rng.Intn(cp.nTrg))); err != nil {
+			if err := emitEdge(srcOff+j, cp.trgOff+int32(rng.Intn(cp.nTrg))); err != nil {
 				return err
 			}
 		}
@@ -290,8 +339,8 @@ func (cp *constraintPlan) emit(opt Options, emitEdge func(src, dst graph.NodeID)
 }
 
 // occurrenceVector draws the per-node degree occurrences of one side:
-// node j (0-based within its type) appears draw(D) times. A
-// non-specified distribution returns a nil vector.
+// node j (0-based within the shard's sub-range) appears draw(D) times.
+// A non-specified distribution returns a nil vector.
 func occurrenceVector(d dist.Distribution, n int, rng *rand.Rand) ([]int32, error) {
 	if !d.Specified() {
 		return nil, nil

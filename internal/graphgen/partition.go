@@ -1,0 +1,316 @@
+package graphgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+// PartitionIndex is the JSON index a PartitionedSink writes next to
+// its per-predicate edge files. Downstream loaders read it to discover
+// the node layout and to fan file reads out in parallel — the layout
+// Xirogiannopoulos & Deshpande's hidden-graph extraction and
+// predicate-partitioned triple stores both load from.
+type PartitionIndex struct {
+	Nodes      int                  `json:"nodes"`
+	Edges      int                  `json:"edges"`
+	Types      []PartitionType      `json:"types"`
+	Predicates []PartitionPredicate `json:"predicates"`
+}
+
+// PartitionType is one node type of the layout.
+type PartitionType struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// PartitionPredicate describes one predicate's edge file.
+type PartitionPredicate struct {
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Edges int    `json:"edges"`
+}
+
+// partitionIndexFile is the index filename inside a partition
+// directory.
+const partitionIndexFile = "index.json"
+
+// PartitionedSink writes one edge-list file per predicate under a
+// directory, plus a JSON index describing the node layout and the
+// per-predicate files. Because the predicate is fixed per file, lines
+// are just "src dst" — smaller than the monolithic edge list and
+// loadable predicate-parallel (see LoadPartitioned).
+type PartitionedSink struct {
+	dir        string
+	typeNames  []string
+	typeCounts []int
+	predNames  []string
+
+	files   []*os.File
+	ws      []*bufio.Writer
+	per     []int
+	edges   int
+	line    []byte
+	aborted bool
+}
+
+// NewPartitionedSink creates dir (and parents) and opens one edge file
+// per predicate of the configuration's schema.
+func NewPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, error) {
+	typeNames, typeCounts, predNames := resolveLayout(cfg)
+	return newPartitionedSink(dir, typeNames, typeCounts, predNames)
+}
+
+func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNames []string) (*PartitionedSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ps := &PartitionedSink{
+		dir:        dir,
+		typeNames:  typeNames,
+		typeCounts: typeCounts,
+		predNames:  predNames,
+		files:      make([]*os.File, len(predNames)),
+		ws:         make([]*bufio.Writer, len(predNames)),
+		per:        make([]int, len(predNames)),
+		line:       make([]byte, 0, 32),
+	}
+	for i := range predNames {
+		f, err := os.Create(filepath.Join(dir, partitionFileName(i, predNames[i])))
+		if err != nil {
+			ps.closeAll()
+			return nil, err
+		}
+		ps.files[i] = f
+		ps.ws[i] = bufio.NewWriterSize(f, 1<<18)
+	}
+	return ps, nil
+}
+
+// partitionFileName builds a collision-free filename for one
+// predicate's edges: the index keeps names unique even when
+// sanitizing maps two predicates to the same text.
+func partitionFileName(i int, name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return fmt.Sprintf("edges-%03d-%s.txt", i, b.String())
+}
+
+// AddEdge implements EdgeSink.
+func (ps *PartitionedSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	b := ps.line[:0]
+	b = strconv.AppendInt(b, int64(src), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(dst), 10)
+	b = append(b, '\n')
+	ps.line = b
+	ps.per[pred]++
+	ps.edges++
+	_, err := ps.ws[pred].Write(b)
+	return err
+}
+
+// AddEdgeBatch implements BatchEdgeSink.
+func (ps *PartitionedSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	w := ps.ws[pred]
+	for i := range srcs {
+		b := ps.line[:0]
+		b = strconv.AppendInt(b, int64(srcs[i]), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(dsts[i]), 10)
+		b = append(b, '\n')
+		ps.line = b
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	ps.per[pred] += len(srcs)
+	ps.edges += len(srcs)
+	return nil
+}
+
+// Abort implements AbortableEdgeSink: a failed run must still close
+// the edge files, but must NOT write the index — a partition
+// directory without index.json is visibly incomplete, so
+// LoadPartitioned refuses it instead of loading a truncated graph.
+func (ps *PartitionedSink) Abort() { ps.aborted = true }
+
+// Flush implements EdgeSink: it drains and closes every edge file and
+// writes the JSON index (unless the run was aborted).
+func (ps *PartitionedSink) Flush() error {
+	var firstErr error
+	for i, w := range ps.ws {
+		if ps.files[i] == nil {
+			continue
+		}
+		if err := w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := ps.files[i].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ps.files[i] = nil
+	}
+	if firstErr != nil || ps.aborted {
+		return firstErr
+	}
+	idx := PartitionIndex{Edges: ps.edges}
+	for i, name := range ps.typeNames {
+		idx.Nodes += ps.typeCounts[i]
+		idx.Types = append(idx.Types, PartitionType{Name: name, Count: ps.typeCounts[i]})
+	}
+	for i, name := range ps.predNames {
+		idx.Predicates = append(idx.Predicates, PartitionPredicate{
+			Name:  name,
+			File:  partitionFileName(i, name),
+			Edges: ps.per[i],
+		})
+	}
+	return writeJSONFile(filepath.Join(ps.dir, partitionIndexFile), &idx)
+}
+
+// Edges returns the number of edges written so far.
+func (ps *PartitionedSink) Edges() int { return ps.edges }
+
+// Dir returns the partition directory.
+func (ps *PartitionedSink) Dir() string { return ps.dir }
+
+func (ps *PartitionedSink) closeAll() {
+	for _, f := range ps.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// writeJSONFile writes v as indented JSON.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPartitionIndex reads a partition directory's JSON index.
+func ReadPartitionIndex(dir string) (*PartitionIndex, error) {
+	data, err := os.ReadFile(filepath.Join(dir, partitionIndexFile))
+	if err != nil {
+		return nil, err
+	}
+	var idx PartitionIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("graphgen: partition index: %w", err)
+	}
+	return &idx, nil
+}
+
+// LoadPartitioned reads a PartitionedSink directory back into a frozen
+// in-memory graph, parsing the per-predicate files in parallel — the
+// loading pattern the partitioned layout exists for.
+func LoadPartitioned(dir string) (*graph.Graph, error) {
+	idx, err := ReadPartitionIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	typeNames := make([]string, len(idx.Types))
+	typeCounts := make([]int, len(idx.Types))
+	for i, t := range idx.Types {
+		typeNames[i] = t.Name
+		typeCounts[i] = t.Count
+	}
+	predNames := make([]string, len(idx.Predicates))
+	for i, p := range idx.Predicates {
+		predNames[i] = p.Name
+	}
+	g, err := graph.New(typeNames, typeCounts, predNames)
+	if err != nil {
+		return nil, err
+	}
+
+	type part struct {
+		srcs, dsts []int32
+		err        error
+	}
+	parts := make([]part, len(idx.Predicates))
+	var wg sync.WaitGroup
+	for i, p := range idx.Predicates {
+		wg.Add(1)
+		go func(i int, p PartitionPredicate) {
+			defer wg.Done()
+			srcs, dsts, err := readEdgePairs(filepath.Join(dir, p.File), p.Edges, g.NumNodes())
+			parts[i] = part{srcs: srcs, dsts: dsts, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, fmt.Errorf("graphgen: partition %q: %w", idx.Predicates[i].Name, parts[i].err)
+		}
+		if err := g.AddEdgeBatch(graph.PredID(i), parts[i].srcs, parts[i].dsts); err != nil {
+			return nil, err
+		}
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// readEdgePairs parses one "src dst"-per-line partition file.
+func readEdgePairs(path string, expect, numNodes int) (srcs, dsts []int32, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	srcs = make([]int32, 0, expect)
+	dsts = make([]int32, 0, expect)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		sStr, dStr, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: expected 'src dst', got %q", line, text)
+		}
+		s, err := strconv.Atoi(sStr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad source %q", line, sStr)
+		}
+		d, err := strconv.Atoi(strings.TrimSpace(dStr))
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad target %q", line, dStr)
+		}
+		if s < 0 || s >= numNodes || d < 0 || d >= numNodes {
+			return nil, nil, fmt.Errorf("line %d: node id out of range", line)
+		}
+		srcs = append(srcs, int32(s))
+		dsts = append(dsts, int32(d))
+	}
+	return srcs, dsts, sc.Err()
+}

@@ -8,10 +8,11 @@ import (
 	"gmark/internal/splitmix"
 )
 
-// plan is the output of the planning stage: the resolved node layout
-// plus one constraintPlan per eta entry. Planning is cheap and
-// deterministic; all randomness is deferred to the emission stage,
-// which draws from the per-constraint sub-seeds fixed here.
+// plan is the output of the planning stage: the resolved node layout,
+// one constraintPlan per eta entry, and the flattened shard list that
+// the emission stage schedules. Planning is cheap and deterministic;
+// all randomness is deferred to the emission stage, which draws from
+// the per-shard sub-seeds fixed here.
 type plan struct {
 	typeNames  []string
 	typeCounts []int
@@ -19,18 +20,23 @@ type plan struct {
 	totalNodes int
 
 	constraints []constraintPlan
-	opt         Options
+
+	// shards is the unit of parallel work, ordered by (constraint
+	// index, shard index). The emission stage flushes completed shards
+	// to the sink strictly in this order, so the sink observes one
+	// canonical edge sequence for a given (configuration, seed,
+	// ShardEdges) triple at any worker count.
+	shards []shardPlan
+
+	opt Options
 
 	// emitted counts the edges delivered by the last run; it is only
 	// touched from the single flusher goroutine.
 	emitted int
 }
 
-// constraintPlan is one independently emittable unit of work: a single
-// eta entry with its node-id ranges resolved and its own RNG sub-seed.
-// Because every constraint owns a seed derived only from (Options.Seed,
-// index), constraints can be emitted on any worker in any order and
-// still produce identical edges.
+// constraintPlan is one eta entry with its node-id ranges resolved and
+// its own RNG sub-seed derived only from (Options.Seed, index).
 type constraintPlan struct {
 	index int
 	c     schema.EdgeConstraint
@@ -39,10 +45,44 @@ type constraintPlan struct {
 	srcOff, trgOff int32 // global node-id offset of the source/target type
 	nSrc, nTrg     int   // node counts of the source/target type
 
+	seed   int64
+	shards int // number of emission shards this constraint was split into
+}
+
+// shardPlan is one independently emittable unit of work: a contiguous
+// sub-range of one constraint's source and target nodes, with its own
+// RNG sub-seed. A single-shard constraint covers its full ranges and
+// keeps the constraint's own seed, which makes it byte-identical to
+// the historical unsharded emission; multi-shard constraints derive
+// shard seeds from (constraint seed, shard index) so occurrence-vector
+// drawing and pairing are independently seeded per shard and shards
+// can run on any worker in any order.
+type shardPlan struct {
+	cp    *constraintPlan
+	index int // shard index within the constraint
+
+	// Node sub-ranges, 0-based within the source/target type. When a
+	// side's distribution is non-specified the shard still records the
+	// full range of that side: its partner occurrences are paired with
+	// uniformly random nodes over the whole type, exactly as in the
+	// unsharded algorithm.
+	srcLo, srcHi int
+	trgLo, trgHi int
+
 	seed int64
 }
 
-// newPlan validates the configuration and resolves every constraint.
+// defaultShardEdges is the auto shard granularity (Options.ShardEdges
+// = 0): small enough that a single dominant constraint of a few
+// million edges fans out across every core of a typical machine, large
+// enough that per-shard scheduling cost stays negligible. It is a
+// fixed constant — never derived from GOMAXPROCS — so shard boundaries
+// (and therefore output bytes) are identical on every machine and at
+// every worker count.
+const defaultShardEdges = 128 << 10
+
+// newPlan validates the configuration and resolves every constraint
+// and its shards.
 func newPlan(cfg *schema.GraphConfig, opt Options) (*plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -84,12 +124,128 @@ func newPlan(cfg *schema.GraphConfig, opt Options) (*plan, error) {
 			seed:   splitmix.SubSeed(opt.Seed, i),
 		}
 	}
+	for i := range p.constraints {
+		p.appendShards(&p.constraints[i])
+	}
 	return p, nil
+}
+
+// appendShards splits one constraint into its emission shards and
+// appends them to the plan's flattened shard list.
+func (p *plan) appendShards(cp *constraintPlan) {
+	n := cp.shardCount(p.opt)
+	cp.shards = n
+	if n == 1 {
+		p.shards = append(p.shards, shardPlan{
+			cp: cp, index: 0,
+			srcLo: 0, srcHi: cp.nSrc,
+			trgLo: 0, trgHi: cp.nTrg,
+			seed: cp.seed,
+		})
+		return
+	}
+	hasOut, hasIn := cp.c.Out.Specified(), cp.c.In.Specified()
+	// When both sides are specified, source stripe i pairs with target
+	// stripe (i+rot) mod n rather than its aligned stripe. Aligned
+	// pairing would make every sharded constraint block-diagonal —
+	// for a self-loop constraint the graph would decompose into n
+	// disconnected node-range components. With rot coprime to n the
+	// stripe digraph is a single n-cycle instead: every stripe reaches
+	// every other within n hops, node-id locality no longer predicts
+	// neighbors, and per-constraint rotations differ so compositions
+	// of constraints mix further. The rotation depends only on the
+	// constraint seed and n, so determinism at any worker count is
+	// untouched.
+	rot := 0
+	if hasOut && hasIn {
+		rot = shardRotation(cp.seed, n)
+	}
+	for i := 0; i < n; i++ {
+		sp := shardPlan{
+			cp: cp, index: i,
+			srcLo: 0, srcHi: cp.nSrc,
+			trgLo: 0, trgHi: cp.nTrg,
+			seed: splitmix.SubSeed(cp.seed, i),
+		}
+		// The specified side(s) are range-partitioned; a non-specified
+		// side keeps its full range (uniform random pairing spans the
+		// whole type). Boundaries are the exact i*n/S lattice, so the
+		// sub-ranges tile the type with no gaps or overlaps.
+		if hasOut {
+			sp.srcLo, sp.srcHi = i*cp.nSrc/n, (i+1)*cp.nSrc/n
+		}
+		if hasIn {
+			j := (i + rot) % n
+			sp.trgLo, sp.trgHi = j*cp.nTrg/n, (j+1)*cp.nTrg/n
+		}
+		p.shards = append(p.shards, sp)
+	}
+}
+
+// shardRotation derives the target-stripe rotation of a sharded
+// constraint: a value in [1, n) coprime to n, seeded from the
+// constraint so different constraints rotate differently.
+func shardRotation(seed int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	r := 1 + int(uint64(splitmix.SubSeed(seed, n))%uint64(n-1)) // in [1, n)
+	for gcd(r, n) != 1 {
+		r++
+		if r == n {
+			r = 1
+		}
+	}
+	return r
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// shardCount resolves how many emission shards a constraint is split
+// into under the options. The count depends only on the configuration
+// and Options.ShardEdges — never on Parallelism or the machine — which
+// is what keeps sharded output deterministic at any worker count.
+func (cp *constraintPlan) shardCount(opt Options) int {
+	target := opt.ShardEdges
+	if target < 0 {
+		return 1
+	}
+	if target == 0 {
+		target = defaultShardEdges
+	}
+	expect := cp.expectedEdges()
+	if expect <= target || cp.nSrc == 0 || cp.nTrg == 0 {
+		return 1
+	}
+	n := (expect + target - 1) / target
+	// Every shard must cover at least one node of each partitioned
+	// side, or proportional splitting would produce empty sub-ranges
+	// and silently drop the paired side's occurrences.
+	lim := cp.nSrc
+	hasOut, hasIn := cp.c.Out.Specified(), cp.c.In.Specified()
+	switch {
+	case hasOut && hasIn:
+		lim = min(cp.nSrc, cp.nTrg)
+	case hasIn:
+		lim = cp.nTrg
+	}
+	if n > lim {
+		n = lim
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // expectedConstraintEdges estimates the number of edges one constraint
 // will emit (the min-side expectation of Fig. 5), used to pre-size
-// emission buffers.
+// emission buffers and to derive the shard count.
 func (cp *constraintPlan) expectedEdges() int {
 	var out, in float64
 	hasOut, hasIn := cp.c.Out.Specified(), cp.c.In.Specified()
@@ -109,6 +265,13 @@ func (cp *constraintPlan) expectedEdges() int {
 	}
 }
 
+// expectedEdges estimates one shard's edge count for buffer pre-sizing.
+func (sp *shardPlan) expectedEdges() int {
+	if sp.cp.shards <= 1 {
+		return sp.cp.expectedEdges()
+	}
+	return sp.cp.expectedEdges()/sp.cp.shards + 16
+}
 
 // ExpectedEdges estimates the number of edges Stream/Generate will
 // produce for a configuration: the min-side expectation per constraint
@@ -138,10 +301,16 @@ func ExpectedEdges(cfg *schema.GraphConfig) int {
 	return int(total)
 }
 
-// errConstraint wraps an emission error with its eta identity.
-func (cp *constraintPlan) wrap(err error) error {
+// wrap attaches the shard's eta identity (and sub-range, when the
+// constraint was split) to an emission error.
+func (sp *shardPlan) wrap(err error) error {
 	if err == nil {
 		return nil
+	}
+	cp := sp.cp
+	if cp.shards > 1 {
+		return fmt.Errorf("graphgen: eta(%s,%s,%s) shard %d/%d: %w",
+			cp.c.Source, cp.c.Target, cp.c.Predicate, sp.index, cp.shards, err)
 	}
 	return fmt.Errorf("graphgen: eta(%s,%s,%s): %w", cp.c.Source, cp.c.Target, cp.c.Predicate, err)
 }

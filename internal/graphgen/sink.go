@@ -47,8 +47,26 @@ func addBatch(sink EdgeSink, pred graph.PredID, srcs, dsts []graph.NodeID) error
 	return nil
 }
 
-// GraphSink builds an in-memory graph.Graph. Per-constraint batches
-// append directly into the graph's per-predicate edge shards; the CSR
+// resolveLayout resolves a configuration's node-type and predicate
+// layout, shared by every sink constructor that needs it so header and
+// node ids cannot drift apart between sinks fed by one pass.
+func resolveLayout(cfg *schema.GraphConfig) (typeNames []string, typeCounts []int, predNames []string) {
+	s := &cfg.Schema
+	typeNames = make([]string, len(s.Types))
+	typeCounts = make([]int, len(s.Types))
+	for i, t := range s.Types {
+		typeNames[i] = t.Name
+		typeCounts[i] = t.Occurrence.Count(cfg.Nodes)
+	}
+	predNames = make([]string, len(s.Predicates))
+	for i, p := range s.Predicates {
+		predNames[i] = p.Name
+	}
+	return typeNames, typeCounts, predNames
+}
+
+// GraphSink builds an in-memory graph.Graph. Per-shard batches append
+// directly into the graph's per-predicate edge shards; the CSR
 // adjacency is built once by graph.Freeze after the pipeline drains.
 type GraphSink struct {
 	g     *graph.Graph
@@ -57,6 +75,24 @@ type GraphSink struct {
 
 // NewGraphSink wraps an unfrozen graph.
 func NewGraphSink(g *graph.Graph) *GraphSink { return &GraphSink{g: g} }
+
+// NewGraphSinkFor builds an empty graph matching the configuration's
+// resolved layout and wraps it in a GraphSink. It exists so callers
+// can materialize AND feed other sinks in one Emit pass via
+// MultiEdgeSink — call Graph().Freeze() after Emit returns, exactly
+// what Generate does internally.
+func NewGraphSinkFor(cfg *schema.GraphConfig) (*GraphSink, error) {
+	typeNames, typeCounts, predNames := resolveLayout(cfg)
+	g, err := graph.New(typeNames, typeCounts, predNames)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraphSink(g), nil
+}
+
+// Graph returns the sink's underlying graph (unfrozen until the
+// caller freezes it).
+func (s *GraphSink) Graph() *graph.Graph { return s.g }
 
 // AddEdge implements EdgeSink.
 func (s *GraphSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
@@ -97,17 +133,7 @@ type WriterSink struct {
 // derived from the configuration. The header cannot carry the edge
 // count up front; it describes the node layout only.
 func NewWriterSink(w io.Writer, cfg *schema.GraphConfig) (*WriterSink, error) {
-	s := &cfg.Schema
-	typeNames := make([]string, len(s.Types))
-	typeCounts := make([]int, len(s.Types))
-	for i, t := range s.Types {
-		typeNames[i] = t.Name
-		typeCounts[i] = t.Occurrence.Count(cfg.Nodes)
-	}
-	predNames := make([]string, len(s.Predicates))
-	for i, p := range s.Predicates {
-		predNames[i] = p.Name
-	}
+	typeNames, typeCounts, predNames := resolveLayout(cfg)
 	return newWriterSink(w, typeNames, typeCounts, predNames)
 }
 
@@ -162,6 +188,73 @@ func (s *WriterSink) Nodes() int { return s.nodes }
 
 // Edges returns the number of edges written so far.
 func (s *WriterSink) Edges() int { return s.edges }
+
+// AbortableEdgeSink is an optional extension for sinks whose Flush
+// finalizes a durable artifact (an index file, a manifest): when the
+// pipeline fails, Emit calls Abort before Flush so the sink releases
+// its resources WITHOUT finalizing — a crashed run must not leave a
+// complete-looking index over partial output.
+type AbortableEdgeSink interface {
+	EdgeSink
+	Abort()
+}
+
+// abortSink notifies a sink (if it cares) that the run failed.
+func abortSink(s EdgeSink) {
+	if a, ok := s.(AbortableEdgeSink); ok {
+		a.Abort()
+	}
+}
+
+// multiEdgeSink fans every edge out to several sinks in order.
+type multiEdgeSink []EdgeSink
+
+// MultiEdgeSink combines sinks: each edge (and the final Flush) is
+// delivered to every sink in argument order, stopping on the first
+// error. It lets one generation pass feed, say, the streaming edge
+// list, a partitioned directory and a CSR spill at once.
+func MultiEdgeSink(sinks ...EdgeSink) EdgeSink { return multiEdgeSink(sinks) }
+
+// AddEdge implements EdgeSink.
+func (m multiEdgeSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	for _, s := range m {
+		if err := s.AddEdge(src, pred, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddEdgeBatch implements BatchEdgeSink, delegating the batch fast
+// path to members that support it.
+func (m multiEdgeSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	for _, s := range m {
+		if err := addBatch(s, pred, srcs, dsts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort implements AbortableEdgeSink, fanning the signal out.
+func (m multiEdgeSink) Abort() {
+	for _, s := range m {
+		abortSink(s)
+	}
+}
+
+// Flush implements EdgeSink. Every member is flushed — even after an
+// earlier member failed — so sinks that own resources always get to
+// release them; the first error is reported.
+func (m multiEdgeSink) Flush() error {
+	var firstErr error
+	for _, s := range m {
+		if err := s.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // countingSink discards edges; used by tests and ablation benchmarks
 // to measure emission cost without sink cost.

@@ -1,0 +1,362 @@
+package graphgen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"gmark/internal/graph"
+	"gmark/internal/schema"
+)
+
+// The CSR spill format: one binary file per (predicate, direction,
+// node-range shard), each self-delimiting —
+//
+//	magic  "GMKCSR1\n"                    (8 bytes)
+//	nLocal uint32                         nodes covered by the shard
+//	edges  uint32                         adjacency entries
+//	off    (nLocal+1) x uint32            shard-local offsets (off[0]=0)
+//	adj    edges x uint32                 global neighbor ids, sorted
+//
+// — all little-endian, plus one csr-index.json manifest describing the
+// layout and every shard file. An out-of-core evaluator can answer
+// Out(v)/In(v) by touching only the one shard file whose node range
+// contains v.
+const (
+	csrMagic        = "GMKCSR1\n"
+	csrManifestFile = "csr-index.json"
+
+	// defaultCSRShardNodes is the node-range width of one spill shard
+	// when the sink is created with shardNodes = 0.
+	defaultCSRShardNodes = 1 << 20
+)
+
+// CSRManifest is the JSON manifest of a CSR spill directory.
+type CSRManifest struct {
+	Nodes      int                 `json:"nodes"`
+	ShardNodes int                 `json:"shard_nodes"`
+	Edges      int                 `json:"edges"`
+	Types      []PartitionType     `json:"types"`
+	Predicates []CSRSpillPredicate `json:"predicates"`
+}
+
+// CSRSpillPredicate lists one predicate's shard files per direction.
+type CSRSpillPredicate struct {
+	Name string     `json:"name"`
+	Fwd  []CSRShard `json:"fwd"`
+	Bwd  []CSRShard `json:"bwd"`
+}
+
+// CSRShard locates one (predicate, direction, node-range) file.
+type CSRShard struct {
+	File  string `json:"file"`
+	Lo    int    `json:"lo"` // first node id covered (inclusive)
+	Hi    int    `json:"hi"` // last node id covered (exclusive)
+	Edges int    `json:"edges"`
+}
+
+// CSRSpillSink accumulates the generated edges per predicate and, at
+// Flush, freezes them into node-range-sharded binary CSR files (both
+// directions) for out-of-core query evaluation. Unlike GraphSink it
+// never builds a Graph: the CSR build runs through the same
+// range-sharded graph.BuildAdjacency code path Freeze uses and the
+// result goes straight to disk.
+//
+// Note the asymmetry: the *output* is an out-of-core format, but this
+// *writer* buffers the whole edge set (plus one direction's CSR at a
+// time) in memory until Flush — writing a spill needs roughly the
+// memory Generate would; only the downstream evaluator escapes it. An
+// incremental per-range spill writer is a roadmap item.
+type CSRSpillSink struct {
+	dir        string
+	shardNodes int
+	typeNames  []string
+	typeCounts []int
+	predNames  []string
+	numNodes   int
+
+	srcs, dsts [][]int32
+	edges      int
+	aborted    bool
+}
+
+// NewCSRSpillSink creates dir (and parents) and returns a spill sink
+// for the configuration. shardNodes is the node-range width of one
+// shard file; 0 selects the default (1M nodes).
+func NewCSRSpillSink(dir string, cfg *schema.GraphConfig, shardNodes int) (*CSRSpillSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if shardNodes <= 0 {
+		shardNodes = defaultCSRShardNodes
+	}
+	typeNames, typeCounts, predNames := resolveLayout(cfg)
+	sink := &CSRSpillSink{
+		dir:        dir,
+		shardNodes: shardNodes,
+		typeNames:  typeNames,
+		typeCounts: typeCounts,
+		predNames:  predNames,
+		srcs:       make([][]int32, len(predNames)),
+		dsts:       make([][]int32, len(predNames)),
+	}
+	for _, c := range typeCounts {
+		sink.numNodes += c
+	}
+	return sink, nil
+}
+
+// AddEdge implements EdgeSink.
+func (s *CSRSpillSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	s.srcs[pred] = append(s.srcs[pred], src)
+	s.dsts[pred] = append(s.dsts[pred], dst)
+	s.edges++
+	return nil
+}
+
+// AddEdgeBatch implements BatchEdgeSink.
+func (s *CSRSpillSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	if len(srcs) != len(dsts) {
+		return fmt.Errorf("graphgen: batch length mismatch: %d sources, %d targets", len(srcs), len(dsts))
+	}
+	s.srcs[pred] = append(s.srcs[pred], srcs...)
+	s.dsts[pred] = append(s.dsts[pred], dsts...)
+	s.edges += len(srcs)
+	return nil
+}
+
+// Abort implements AbortableEdgeSink: a failed run drops the buffered
+// edges and writes nothing — no shard files, no manifest — so a
+// downstream OpenCSRSpill cannot mistake partial output for a spill.
+func (s *CSRSpillSink) Abort() {
+	s.aborted = true
+	for p := range s.srcs {
+		s.srcs[p], s.dsts[p] = nil, nil
+	}
+}
+
+// Flush implements EdgeSink: builds each predicate's forward and
+// backward CSR (range-sharded across cores) and spills the node-range
+// shards plus the manifest. After Abort it is a no-op.
+func (s *CSRSpillSink) Flush() error {
+	if s.aborted {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	m := CSRManifest{
+		Nodes:      s.numNodes,
+		ShardNodes: s.shardNodes,
+		Edges:      s.edges,
+	}
+	for i, name := range s.typeNames {
+		m.Types = append(m.Types, PartitionType{Name: name, Count: s.typeCounts[i]})
+	}
+	for p, name := range s.predNames {
+		entry := CSRSpillPredicate{Name: name}
+		off, adj := graph.BuildAdjacency(s.numNodes, s.srcs[p], s.dsts[p], workers)
+		var err error
+		entry.Fwd, err = writeCSRDirection(s.dir, s.shardNodes, s.numNodes, p, "f", off, adj)
+		if err != nil {
+			return err
+		}
+		off, adj = graph.BuildAdjacency(s.numNodes, s.dsts[p], s.srcs[p], workers)
+		entry.Bwd, err = writeCSRDirection(s.dir, s.shardNodes, s.numNodes, p, "b", off, adj)
+		if err != nil {
+			return err
+		}
+		s.srcs[p], s.dsts[p] = nil, nil // release before the next build
+		m.Predicates = append(m.Predicates, entry)
+	}
+	return writeJSONFile(filepath.Join(s.dir, csrManifestFile), &m)
+}
+
+// Edges returns the number of edges consumed so far.
+func (s *CSRSpillSink) Edges() int { return s.edges }
+
+// Dir returns the spill directory.
+func (s *CSRSpillSink) Dir() string { return s.dir }
+
+// WriteCSRSpillFromGraph spills an already-frozen graph into dir in
+// the exact layout OpenCSRSpill reads, reusing the adjacency Freeze
+// already built instead of buffering edges and rebuilding it — the
+// cheap path when a materialized instance exists (cmd/gmark's
+// default). shardNodes 0 selects the default node-range width.
+func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if shardNodes <= 0 {
+		shardNodes = defaultCSRShardNodes
+	}
+	m := CSRManifest{
+		Nodes:      g.NumNodes(),
+		ShardNodes: shardNodes,
+		Edges:      g.NumEdges(),
+	}
+	for t := 0; t < g.NumTypes(); t++ {
+		m.Types = append(m.Types, PartitionType{Name: g.TypeName(t), Count: g.TypeCount(t)})
+	}
+	for p := 0; p < g.NumPredicates(); p++ {
+		entry := CSRSpillPredicate{Name: g.PredName(int32(p))}
+		off, adj := g.Adjacency(int32(p), false)
+		var err error
+		entry.Fwd, err = writeCSRDirection(dir, shardNodes, g.NumNodes(), p, "f", off, adj)
+		if err != nil {
+			return err
+		}
+		off, adj = g.Adjacency(int32(p), true)
+		entry.Bwd, err = writeCSRDirection(dir, shardNodes, g.NumNodes(), p, "b", off, adj)
+		if err != nil {
+			return err
+		}
+		m.Predicates = append(m.Predicates, entry)
+	}
+	return writeJSONFile(filepath.Join(dir, csrManifestFile), &m)
+}
+
+// writeCSRDirection writes one direction's node-range shard files
+// from a built CSR.
+func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off, adj []int32) ([]CSRShard, error) {
+	var shards []CSRShard
+	for lo := 0; lo < numNodes || (lo == 0 && numNodes == 0); lo += shardNodes {
+		hi := lo + shardNodes
+		if hi > numNodes {
+			hi = numNodes
+		}
+		name := fmt.Sprintf("csr-%s-%03d-%06d.bin", tag, p, lo/shardNodes)
+		edges, err := writeCSRShard(filepath.Join(dir, name), off[lo:hi+1], adj)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, CSRShard{File: name, Lo: lo, Hi: hi, Edges: edges})
+		if hi == numNodes {
+			break
+		}
+	}
+	return shards, nil
+}
+
+// writeCSRShard writes one shard file. off is the global offset slice
+// of the shard's node range (hi-lo+1 entries); offsets are rebased so
+// the stored off[0] is 0 and adj holds only the shard's entries.
+func writeCSRShard(path string, off []int32, adj []int32) (int, error) {
+	base := off[0]
+	local := adj[base:off[len(off)-1]]
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<18)
+	if _, err := bw.WriteString(csrMagic); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(off)-1))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(local)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := writeUint32s(bw, off, -base); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := writeUint32s(bw, local, 0); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return len(local), f.Close()
+}
+
+// writeUint32s streams v (shifted by delta) as little-endian uint32s
+// through a fixed chunk buffer.
+func writeUint32s(bw *bufio.Writer, v []int32, delta int32) error {
+	var buf [4096]byte
+	for len(v) > 0 {
+		n := len(buf) / 4
+		if n > len(v) {
+			n = len(v)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v[i]+delta))
+		}
+		if _, err := bw.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		v = v[n:]
+	}
+	return nil
+}
+
+// CSRSpill is an opened spill directory: the manifest plus shard
+// loading. It holds no file handles between loads — the point of the
+// format is that an evaluator touches only the shards it needs.
+type CSRSpill struct {
+	dir      string
+	Manifest CSRManifest
+}
+
+// OpenCSRSpill reads the manifest of a CSR spill directory.
+func OpenCSRSpill(dir string) (*CSRSpill, error) {
+	data, err := os.ReadFile(filepath.Join(dir, csrManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m CSRManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("graphgen: csr manifest: %w", err)
+	}
+	return &CSRSpill{dir: dir, Manifest: m}, nil
+}
+
+// LoadShard reads one shard file back: off is shard-local (off[0] ==
+// 0, one entry per covered node plus one), adj holds global neighbor
+// ids sorted ascending per node.
+func (c *CSRSpill) LoadShard(sh CSRShard) (off, adj []int32, err error) {
+	data, err := os.ReadFile(filepath.Join(c.dir, sh.File))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(csrMagic)+8 || string(data[:len(csrMagic)]) != csrMagic {
+		return nil, nil, fmt.Errorf("graphgen: %s: not a CSR shard file", sh.File)
+	}
+	body := data[len(csrMagic):]
+	nLocal := int(binary.LittleEndian.Uint32(body[0:4]))
+	edges := int(binary.LittleEndian.Uint32(body[4:8]))
+	body = body[8:]
+	want := 4 * (nLocal + 1 + edges)
+	if len(body) != want {
+		return nil, nil, fmt.Errorf("graphgen: %s: truncated shard (%d bytes, want %d)", sh.File, len(body), want)
+	}
+	off = make([]int32, nLocal+1)
+	for i := range off {
+		off[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	body = body[4*(nLocal+1):]
+	adj = make([]int32, edges)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return off, adj, nil
+}
+
+// ShardFor returns the shard of a direction's shard list covering
+// node v, or an error when v is out of range.
+func (c *CSRSpill) ShardFor(shards []CSRShard, v graph.NodeID) (CSRShard, error) {
+	if c.Manifest.ShardNodes > 0 {
+		i := int(v) / c.Manifest.ShardNodes
+		if i >= 0 && i < len(shards) && int(v) >= shards[i].Lo && int(v) < shards[i].Hi {
+			return shards[i], nil
+		}
+	}
+	return CSRShard{}, fmt.Errorf("graphgen: node %d outside spill range", v)
+}

@@ -1,0 +1,114 @@
+// Package manifest defines the coupled graph+workload run manifest:
+// one JSON index describing every artifact a generation run produced —
+// the instance file(s), the workload XML, and the per-syntax
+// translation layout — so a downstream harness can pick up a run from
+// a single well-known file instead of guessing at directory
+// conventions.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion identifies the manifest schema; bump on incompatible
+// changes.
+const FormatVersion = 1
+
+// DefaultName is the conventional manifest filename inside an output
+// directory.
+const DefaultName = "manifest.json"
+
+// Manifest indexes the artifacts of one coupled graph+workload run.
+// All paths are relative to the manifest's own directory, so the
+// output tree can be moved or archived wholesale.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Generator     string `json:"generator"`
+	Config        string `json:"config,omitempty"` // use-case name or configuration file
+	Seed          int64  `json:"seed"`
+
+	Graph    Graph    `json:"graph"`
+	Workload Workload `json:"workload"`
+}
+
+// Graph locates the instance artifacts.
+type Graph struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+
+	// EdgeList is the monolithic "src pred dst" file, when written.
+	EdgeList string `json:"edge_list,omitempty"`
+	// NTriples is the RDF rendering, when written.
+	NTriples string `json:"ntriples,omitempty"`
+	// PartitionedDir holds one edge file per predicate plus
+	// index.json, when written (see graphgen.PartitionedSink).
+	PartitionedDir string `json:"partitioned_dir,omitempty"`
+	// CSRSpillDir holds the node-range-sharded binary CSR files plus
+	// csr-index.json, when written (see graphgen.CSRSpillSink).
+	CSRSpillDir string `json:"csr_spill_dir,omitempty"`
+}
+
+// Workload locates the query artifacts.
+type Workload struct {
+	Queries int `json:"queries"`
+
+	// XML is the UCRPQ workload file.
+	XML string `json:"xml,omitempty"`
+	// TranslationsDir holds the per-query concrete-syntax files,
+	// named by FilePattern for every syntax in Syntaxes and every
+	// query index in [0, Queries).
+	TranslationsDir string   `json:"translations_dir,omitempty"`
+	Syntaxes        []string `json:"syntaxes,omitempty"`
+	// FilePattern is the translation filename layout, with %d the
+	// query index and %s the syntax.
+	FilePattern string `json:"file_pattern,omitempty"`
+}
+
+// QueryFilePattern is the translation layout SyntaxDirSink writes.
+const QueryFilePattern = "query-%d.%s"
+
+// Write stores the manifest as indented JSON at path, stamping the
+// format version and generator.
+func Write(path string, m Manifest) error {
+	m.FormatVersion = FormatVersion
+	if m.Generator == "" {
+		m.Generator = "gmark"
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads and validates a manifest.
+func Read(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("manifest: unsupported format version %d (have %d)", m.FormatVersion, FormatVersion)
+	}
+	return &m, nil
+}
+
+// Rel converts target to a path relative to the manifest directory
+// base, falling back to the absolute path when no relative form
+// exists (different volumes).
+func Rel(base, target string) string {
+	if target == "" {
+		return ""
+	}
+	if rel, err := filepath.Rel(base, target); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(target)
+}

@@ -1,0 +1,82 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, DefaultName)
+	in := Manifest{
+		Config: "bib",
+		Seed:   42,
+		Graph: Graph{
+			Nodes:          10000,
+			Edges:          14426,
+			EdgeList:       "graph.txt",
+			PartitionedDir: "partitioned",
+			CSRSpillDir:    "csr",
+		},
+		Workload: Workload{
+			Queries:         30,
+			XML:             "workload.xml",
+			TranslationsDir: "queries",
+			Syntaxes:        []string{"sparql", "sql"},
+			FilePattern:     QueryFilePattern,
+		},
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FormatVersion != FormatVersion || out.Generator != "gmark" {
+		t.Errorf("stamped fields: version=%d generator=%q", out.FormatVersion, out.Generator)
+	}
+	if out.Graph != in.Graph {
+		t.Errorf("graph section: got %+v, want %+v", out.Graph, in.Graph)
+	}
+	if out.Workload.Queries != 30 || out.Workload.XML != "workload.xml" ||
+		out.Workload.TranslationsDir != "queries" || len(out.Workload.Syntaxes) != 2 {
+		t.Errorf("workload section: %+v", out.Workload)
+	}
+	if out.Seed != 42 || out.Config != "bib" {
+		t.Errorf("run identity: seed=%d config=%q", out.Seed, out.Config)
+	}
+}
+
+func TestReadRejectsUnknownVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, DefaultName)
+	if err := Write(path, Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = raw
+	// Corrupt the version in place.
+	data := []byte(strings.Replace(`{"format_version": 99, "generator": "gmark", "seed": 0,
+		"graph": {"nodes": 0, "edges": 0}, "workload": {"queries": 0}}`, "\n", "", -1))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Error("unsupported version accepted")
+	}
+}
+
+func TestRel(t *testing.T) {
+	if got := Rel("/out", "/out/queries"); got != "queries" {
+		t.Errorf("Rel = %q", got)
+	}
+	if got := Rel("/out", ""); got != "" {
+		t.Errorf("Rel empty = %q", got)
+	}
+}

@@ -25,8 +25,11 @@ func (g *Generator) GenerateWith(opt Options) ([]*query.Query, error) {
 
 // Emit runs the workload pipeline into an arbitrary sink and returns
 // the number of queries delivered. Queries reach the sink in ascending
-// index order from a single goroutine, regardless of worker count;
-// Flush is called after the last query.
+// index order from a single goroutine, regardless of worker count.
+// Flush is ALWAYS called, even when emission fails, so sinks that own
+// resources (file handles, writer goroutines — see SyntaxDirSink) can
+// release them; the emission error takes precedence over a flush
+// error.
 func (g *Generator) Emit(opt Options, sink QuerySink) (int, error) {
 	units := g.planWorkload()
 	var err error
@@ -35,10 +38,14 @@ func (g *Generator) Emit(opt Options, sink QuerySink) (int, error) {
 	} else {
 		err = g.emitParallel(units, opt, sink)
 	}
+	flushErr := sink.Flush()
 	if err != nil {
 		return 0, err
 	}
-	return len(units), sink.Flush()
+	if flushErr != nil {
+		return 0, flushErr
+	}
+	return len(units), nil
 }
 
 // emitSequential generates every unit in order, straight into the

@@ -331,3 +331,27 @@ func TestSequentialAPIUnaffectedByPipeline(t *testing.T) {
 		t.Errorf("pipeline run perturbed the sequential stream:\n%s\nvs\n%s", q1, q2)
 	}
 }
+
+// TestSyntaxDirSinkWriteErrorSurfaces: the asynchronous writer pool
+// must report file-system failures at Flush (or earlier, via the
+// sticky error) instead of swallowing them.
+func TestSyntaxDirSinkWriteErrorSurfaces(t *testing.T) {
+	wcfg := pipelineConfig(t, "bib", 12)
+	wcfg.Count = 4
+	gen, err := querygen.New(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "queries")
+	sink, err := querygen.NewSyntaxDirSink(dir, []translate.Syntax{translate.SPARQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the directory out from under the pool: every create fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Emit(querygen.Options{Parallelism: 2}, sink); err == nil {
+		t.Fatal("write failures were not surfaced")
+	}
+}

@@ -79,4 +79,3 @@ func (g *Generator) emitUnit(u queryUnit) (*query.Query, error) {
 	}
 	return w.plainQuery(u.shape, u.arity, u.numRules)
 }
-

@@ -1,10 +1,14 @@
 package querygen
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"gmark/internal/query"
 	"gmark/internal/translate"
@@ -67,11 +71,37 @@ func (s *ProfileSink) Profile() workload.Profile { return s.acc.Profile() }
 // tool emits its workload: query-<index>.<syntax> for every requested
 // syntax, each file one self-contained query preceded by a comment
 // header in that language's comment style.
+//
+// Writes are batched through a small pool of writer goroutines, each
+// owning one reused bufio.Writer: the flusher goroutine only
+// translates and enqueues, while file creation — the syscall storm at
+// 100K+-query workloads — overlaps with generation and with other
+// writes. File contents depend only on (index, query), so the
+// asynchronous write order never shows in the output.
 type SyntaxDirSink struct {
 	dir      string
 	syntaxes []translate.Syntax
 	count    int
+
+	jobs  chan dirWriteJob
+	wg    sync.WaitGroup
+	close sync.Once
+
+	mu  sync.Mutex
+	err error
 }
+
+// dirWriteJob is one file for the writer pool.
+type dirWriteJob struct {
+	path    string
+	content []byte
+}
+
+// syntaxDirWriters is the size of the writer pool. File writes are
+// short and I/O bound; a handful of them in flight hides most of the
+// per-file open/write/close latency without stressing the file
+// system.
+var syntaxDirWriters = min(8, runtime.GOMAXPROCS(0))
 
 // NewSyntaxDirSink creates dir (and parents) and returns a sink
 // writing the given syntaxes; nil or empty means all four. Leftover
@@ -102,11 +132,68 @@ func NewSyntaxDirSink(dir string, syntaxes []translate.Syntax) (*SyntaxDirSink, 
 			}
 		}
 	}
-	return &SyntaxDirSink{dir: dir, syntaxes: syntaxes}, nil
+	s := &SyntaxDirSink{dir: dir, syntaxes: syntaxes}
+	workers := syntaxDirWriters
+	if workers < 1 {
+		workers = 1
+	}
+	s.jobs = make(chan dirWriteJob, 4*workers)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.writeLoop()
+	}
+	return s, nil
 }
 
-// AddQuery implements QuerySink.
+// writeLoop is one pool worker: it owns a single bufio.Writer, reset
+// onto each file it creates, so steady-state writing allocates
+// nothing.
+func (s *SyntaxDirSink) writeLoop() {
+	defer s.wg.Done()
+	bw := bufio.NewWriterSize(io.Discard, 1<<15)
+	for job := range s.jobs {
+		if s.sticky() != nil {
+			continue // an earlier write failed; drain cheaply
+		}
+		f, err := os.Create(job.path)
+		if err != nil {
+			s.fail(err)
+			continue
+		}
+		bw.Reset(f)
+		_, err = bw.Write(job.content)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			s.fail(err)
+		}
+	}
+}
+
+func (s *SyntaxDirSink) sticky() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *SyntaxDirSink) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// AddQuery implements QuerySink: it translates the query into every
+// requested syntax and hands the files to the writer pool.
 func (s *SyntaxDirSink) AddQuery(index int, q *query.Query) error {
+	if err := s.sticky(); err != nil {
+		return err // fail fast instead of translating into a dead pool
+	}
 	for _, syn := range s.syntaxes {
 		text, err := translate.To(syn, q, translate.Options{})
 		if err != nil {
@@ -130,17 +217,24 @@ func (s *SyntaxDirSink) AddQuery(index int, q *query.Query) error {
 			b.WriteByte('\n')
 		}
 		name := fmt.Sprintf("query-%d.%s", index, syn)
-		if err := os.WriteFile(filepath.Join(s.dir, name), []byte(b.String()), 0o644); err != nil {
-			return err
-		}
+		s.jobs <- dirWriteJob{path: filepath.Join(s.dir, name), content: []byte(b.String())}
 	}
 	s.count++
 	return nil
 }
 
-// Flush implements QuerySink. Files are written eagerly per query, so
-// there is nothing left to finalize.
-func (s *SyntaxDirSink) Flush() error { return nil }
+// Flush implements QuerySink: it drains the writer pool and reports
+// the first write error. The pipeline calls Flush even when emission
+// fails, which is what tears the pool down; Flush is idempotent so
+// combined sinks cannot double-close it. The sink must not be reused
+// afterwards.
+func (s *SyntaxDirSink) Flush() error {
+	s.close.Do(func() {
+		close(s.jobs)
+		s.wg.Wait()
+	})
+	return s.sticky()
+}
 
 // Count returns the number of queries written.
 func (s *SyntaxDirSink) Count() int { return s.count }
@@ -194,12 +288,15 @@ func (m multiSink) AddQuery(index int, q *query.Query) error {
 	return nil
 }
 
-// Flush implements QuerySink.
+// Flush implements QuerySink. Every member is flushed — even after an
+// earlier member failed — so sinks that own resources always get to
+// release them; the first error is reported.
 func (m multiSink) Flush() error {
+	var firstErr error
 	for _, s := range m {
-		if err := s.Flush(); err != nil {
-			return err
+		if err := s.Flush(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
