@@ -528,3 +528,80 @@ func BenchmarkAblationRelaxation(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEvalStreamingSparse measures the streaming evaluator on a
+// chain whose first expression starts from a sparse predicate: most
+// sources cannot make the first step, so the per-source skip (shared
+// with evalCompiled) decides whether the scan is O(active sources) or
+// O(all nodes) bitset resets. Recorded in BENCH_generate.json.
+func BenchmarkEvalStreamingSparse(b *testing.B) {
+	g := mustGraph(b, "bib", 50_000)
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("heldIn.heldIn-")}},
+	}}}
+	b.ReportAllocs()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		n, err = eval.Count(g, q, eval.Budget{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "tuples")
+}
+
+// BenchmarkSpillEval compares the same Count over the in-memory graph
+// and over its CSR spill: warm (shards resident under the default
+// budget) and cold (a cache too small for the working set, so shards
+// reload from disk mid-query). The spill is written once per run.
+func BenchmarkSpillEval(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	dir := b.TempDir()
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 1024); err != nil {
+		b.Fatal(err)
+	}
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("authors-.authors")}},
+	}}}
+	b.Run("in-memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.Count(g, q, eval.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spill-warm", func(b *testing.B) {
+		src, err := eval.OpenSpillSource(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.CountOverSpill(src, q, eval.Budget{}); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.CountOverSpill(src, q, eval.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spill-cold", func(b *testing.B) {
+		src, err := eval.OpenSpillSource(dir, 32<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.CountOverSpill(src, q, eval.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := src.CacheStats()
+		b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+	})
+}

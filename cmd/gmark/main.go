@@ -14,20 +14,24 @@
 //	gmark -usecase bib -nodes 10000 -queries 20 -out ./out
 //	gmark -config config.xml -out ./out -ntriples
 //	gmark -usecase bib -verify -syntax sparql,sql -workload-out ./queries
+//	gmark -eval-spill ./out/csr -eval-query "authors-.authors" -eval-cache-mb 64
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
 	"path/filepath"
 
+	"gmark/internal/eval"
 	"gmark/internal/gconfig"
 	"gmark/internal/graphgen"
 	"gmark/internal/graphstat"
 	"gmark/internal/manifest"
 	"gmark/internal/query"
 	"gmark/internal/querygen"
+	"gmark/internal/regpath"
 	"gmark/internal/schema"
 	"gmark/internal/translate"
 	"gmark/internal/usecases"
@@ -58,8 +62,18 @@ func main() {
 		workloadOut = flag.String("workload-out", "", "directory for per-query translated files (default <out>/queries)")
 		syntax      = flag.String("syntax", "sparql,cypher,sql,datalog", "comma-separated translation syntaxes for the per-query files, or empty to skip translation")
 		manifestOut = flag.String("manifest", manifest.DefaultName, "filename (relative to -out) of the JSON run manifest indexing all artifacts; empty disables")
+		evalSpill   = flag.String("eval-spill", "", "evaluate -eval-query over this CSR spill directory (written by -csr-spill) and exit; generation is skipped")
+		evalQuery   = flag.String("eval-query", "", "regular path expression to count over the spill, e.g. \"authors-.authors\"")
+		evalCacheMB = flag.Int("eval-cache-mb", 0, "shard-cache budget in MiB for -eval-spill (0 = default 256 MiB)")
 	)
 	flag.Parse()
+
+	if *evalSpill != "" {
+		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var gcfg *schema.GraphConfig
 	var wcfg querygen.Config
@@ -139,9 +153,6 @@ func main() {
 	graphPath := filepath.Join(*outDir, "graph.txt")
 	man.Graph.EdgeList = "graph.txt"
 	if *stream {
-		if *csrSpill {
-			log.Printf("warning: -csr-spill buffers the whole edge set in memory until the end of the run; combined with -stream the run is no longer constant-memory")
-		}
 		err := writeFile(graphPath, func(w *os.File) error {
 			ws, err := graphgen.NewWriterSink(w, gcfg)
 			if err != nil {
@@ -318,6 +329,41 @@ func main() {
 		log.Printf("manifest: %s", path)
 	}
 	log.Printf("wrote %s", *outDir)
+}
+
+var errMissingEvalQuery = errors.New("-eval-spill requires -eval-query (a regular path expression)")
+
+// evalOverSpill is the out-of-core evaluation mode: it opens a CSR
+// spill directory, counts the distinct (source, target) pairs of one
+// regular path expression over it, and reports the shard-cache
+// behavior — without ever materializing the instance.
+func evalOverSpill(dir, expr string, cacheMB int) error {
+	if expr == "" {
+		return errMissingEvalQuery
+	}
+	e, err := regpath.Parse(expr)
+	if err != nil {
+		return err
+	}
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: e}},
+	}}}
+	src, err := eval.OpenSpillSource(dir, int64(cacheMB)<<20)
+	if err != nil {
+		return err
+	}
+	log.Printf("spill: %d nodes, %d edges, %d predicates in %s",
+		src.NumNodes(), src.NumEdges(), len(src.Manifest().Predicates), dir)
+	n, err := eval.CountOverSpill(src, q, eval.Budget{})
+	if err != nil {
+		return err
+	}
+	st := src.CacheStats()
+	log.Printf("count(%s) = %d", expr, n)
+	log.Printf("shard cache: %d loads, %d hits, %d evictions, %d bytes resident",
+		st.Loads, st.Hits, st.Evictions, st.BytesUsed)
+	return nil
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

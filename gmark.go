@@ -316,7 +316,21 @@ type (
 	Budget = eval.Budget
 	// Engine is one of the simulated systems of Section 7.
 	Engine = engines.Engine
+	// EvalSource is the minimal graph access the evaluator needs; both
+	// *Graph and *GraphSpillSource implement it.
+	EvalSource = eval.Source
+	// GraphSpillSource evaluates queries directly over a CSR spill
+	// directory, loading node-range shards on demand into a bounded
+	// LRU cache — the out-of-core complement of GenerateGraph.
+	GraphSpillSource = eval.SpillSource
+	// GraphSpillCacheStats reports a spill source's shard-cache
+	// hit/load/eviction counters.
+	GraphSpillCacheStats = eval.SpillCacheStats
 )
+
+// DefaultSpillCacheBytes is the shard-cache budget used when
+// OpenGraphSpill is called with cacheBytes <= 0.
+const DefaultSpillCacheBytes = eval.DefaultSpillCacheBytes
 
 // ErrBudget is returned when an evaluation exceeds its budget.
 var ErrBudget = eval.ErrBudget
@@ -325,6 +339,21 @@ var ErrBudget = eval.ErrBudget
 // returns |Q(G)|, using the reference evaluator.
 func Count(g *Graph, q *Query, b Budget) (int64, error) {
 	return eval.Count(g, q, b)
+}
+
+// OpenGraphSpill opens a CSR spill directory (written by
+// GraphCSRSpillSink or WriteGraphCSRSpill) for out-of-core query
+// evaluation. cacheBytes bounds the resident shard bytes; <= 0 selects
+// DefaultSpillCacheBytes.
+func OpenGraphSpill(dir string, cacheBytes int64) (*GraphSpillSource, error) {
+	return eval.OpenSpillSource(dir, cacheBytes)
+}
+
+// CountOverSpill evaluates the query over an opened spill and returns
+// |Q(G)|, touching only the shard files the evaluation frontier
+// reaches.
+func CountOverSpill(s *GraphSpillSource, q *Query, b Budget) (int64, error) {
+	return eval.CountOverSpill(s, q, b)
 }
 
 // Engines returns the four simulated systems (P, G, S, D) of the

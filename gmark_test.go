@@ -269,3 +269,41 @@ func TestTranslationsMentionPredicates(t *testing.T) {
 		}
 	}
 }
+
+func TestSpillEvaluationViaFacade(t *testing.T) {
+	cfg := smallConfig(1500)
+	g, err := gmark.GenerateGraph(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := gmark.WriteGraphCSRSpill(dir, g, 200); err != nil {
+		t.Fatal(err)
+	}
+	src, err := gmark.OpenGraphSpill(dir, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := gmark.ParsePathExpr("owns.tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &gmark.Query{Rules: []gmark.Rule{{
+		Head: []gmark.Var{0, 1},
+		Body: []gmark.Conjunct{{Src: 0, Dst: 1, Expr: expr}},
+	}}}
+	want, err := gmark.Count(g, q, gmark.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gmark.CountOverSpill(src, q, gmark.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("spill count = %d, in-memory = %d", got, want)
+	}
+	if st := src.CacheStats(); st.Loads == 0 {
+		t.Error("no shards loaded through the facade")
+	}
+}

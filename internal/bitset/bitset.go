@@ -70,6 +70,22 @@ func (s *Set) UnionWith(t *Set) {
 	}
 }
 
+// UnionWithCount adds all elements of t and returns how many were
+// newly added; the evaluator uses the count to charge its budget for
+// result-set growth without a separate Count pass.
+func (s *Set) UnionWithCount(t *Set) int {
+	added := 0
+	for i, w := range t.words {
+		old := s.words[i]
+		merged := old | w
+		if merged != old {
+			added += bits.OnesCount64(merged ^ old)
+			s.words[i] = merged
+		}
+	}
+	return added
+}
+
 // IntersectWith keeps only elements also in t.
 func (s *Set) IntersectWith(t *Set) {
 	for i, w := range t.words {

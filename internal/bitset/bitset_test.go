@@ -199,3 +199,29 @@ func TestQuickAlgebraLaws(t *testing.T) {
 		}
 	}
 }
+
+// Property: UnionWithCount returns exactly the cardinality growth and
+// leaves the receiver equal to a plain UnionWith.
+func TestUnionWithCount(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		a, b := New(300), New(300)
+		for i := 0; i < 60; i++ {
+			a.Add(int32(r.Intn(300)))
+			b.Add(int32(r.Intn(300)))
+		}
+		ref := a.Clone()
+		ref.UnionWith(b)
+		before := a.Count()
+		added := a.UnionWithCount(b)
+		if added != a.Count()-before {
+			t.Fatalf("added = %d, cardinality grew by %d", added, a.Count()-before)
+		}
+		if a.Count() != ref.Count() {
+			t.Fatal("UnionWithCount result differs from UnionWith")
+		}
+		if got := a.UnionWithCount(b); got != 0 {
+			t.Fatalf("second union added %d", got)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"gmark/internal/bitset"
-	"gmark/internal/graph"
 	"gmark/internal/query"
 )
 
@@ -14,7 +13,7 @@ import (
 // Section 5.2.1). Chain-shaped rules with endpoint projections are
 // evaluated by a streaming per-source algorithm; everything else goes
 // through the join evaluator.
-func Count(g *graph.Graph, q *query.Query, b Budget) (int64, error) {
+func Count(g Source, q *query.Query, b Budget) (int64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -28,7 +27,7 @@ func Count(g *graph.Graph, q *query.Query, b Budget) (int64, error) {
 // Tuples evaluates the query with the join evaluator and returns the
 // distinct head tuples, sorted lexicographically. Intended for tests
 // and small graphs.
-func Tuples(g *graph.Graph, q *query.Query, b Budget) ([][]int32, error) {
+func Tuples(g Source, q *query.Query, b Budget) ([][]int32, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,7 +74,7 @@ const (
 // only the chain endpoints, and builds per-rule plans. Rules whose
 // head is (end, start) are reversed so that all plans stream from the
 // same tuple orientation.
-func planStreaming(g *graph.Graph, q *query.Query) ([]streamPlan, bool) {
+func planStreaming(g Source, q *query.Query) ([]streamPlan, bool) {
 	plans := make([]streamPlan, 0, len(q.Rules))
 	for _, r := range q.Rules {
 		start, end, ok := chainEndpoints(r)
@@ -138,24 +137,38 @@ func chainEndpoints(r query.Rule) (start, end query.Var, ok bool) {
 // countStreaming evaluates all plans source by source, unioning the
 // per-source result sets across rules before counting, which yields
 // distinct counts across the whole union without materializing it.
-func countStreaming(g *graph.Graph, q *query.Query, plans []streamPlan, tr *tracker) (int64, error) {
+// Unary rules project either chain endpoint — a union may mix head
+// (start) and head (end) rules — so all unary projections accumulate
+// into one shared node set and the final dispatch goes by query arity,
+// never by any single rule's projection.
+func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (int64, error) {
 	n := g.NumNodes()
 	cur := bitset.New(n)
 	nxt := bitset.New(n)
 	sa, sb := bitset.New(n), bitset.New(n)
-	acc := bitset.New(n)      // per-source union across rules
-	colUnion := bitset.New(n) // global union of targets (projTarget)
-	anyResult := false
-	srcSeen := bitset.New(n)
+	acc := bitset.New(n)       // per-source union across rules (pair heads)
+	nodeUnion := bitset.New(n) // global union of projected endpoints (unary heads)
+	arity := q.Arity()
 
 	var total int64
 	for v := int32(0); v < int32(n); v++ {
 		if err := tr.checkTime(); err != nil {
 			return 0, err
 		}
-		acc.Clear()
 		accUsed := false
 		for _, p := range plans {
+			// A non-star first expression that cannot make its first
+			// step at v matches nothing from v (the same restriction
+			// evalCompiled applies); star expressions still contribute
+			// zero-length matches inside their domain.
+			if first := p.exprs[0]; !first.star && !canStart(g, first, v) {
+				continue
+			}
+			// A source projection can only ever contribute v itself;
+			// skip the chain walk once v is in the result.
+			if p.proj == projSource && nodeUnion.Has(v) {
+				continue
+			}
 			cur.Clear()
 			cur.Add(v)
 			ok := true
@@ -174,11 +187,23 @@ func countStreaming(g *graph.Graph, q *query.Query, plans []streamPlan, tr *trac
 			}
 			switch p.proj {
 			case projBoolean:
-				anyResult = true
+				// The first witness decides a Boolean query; stop
+				// scanning the remaining sources.
+				if err := tr.charge(1); err != nil {
+					return 0, err
+				}
+				return 1, nil
 			case projSource:
-				srcSeen.Add(v)
+				nodeUnion.Add(v)
+				if err := tr.charge(1); err != nil {
+					return 0, err
+				}
 			case projTarget:
-				colUnion.UnionWith(cur)
+				if added := nodeUnion.UnionWithCount(cur); added > 0 {
+					if err := tr.charge(int64(added)); err != nil {
+						return 0, err
+					}
+				}
 			case projPair:
 				acc.UnionWith(cur)
 				accUsed = true
@@ -190,20 +215,14 @@ func countStreaming(g *graph.Graph, q *query.Query, plans []streamPlan, tr *trac
 			if err := tr.charge(c); err != nil {
 				return 0, err
 			}
+			acc.Clear()
 		}
 	}
-	// Combine the projection modes; a valid UCRPQ has uniform arity, so
-	// only one of the accumulators is populated.
-	switch plans[0].proj {
-	case projBoolean:
-		if anyResult {
-			return 1, nil
-		}
-		return 0, nil
-	case projSource:
-		return int64(srcSeen.Count()), nil
-	case projTarget:
-		return int64(colUnion.Count()), nil
+	switch arity {
+	case 0:
+		return 0, nil // no rule produced a witness
+	case 1:
+		return int64(nodeUnion.Count()), nil
 	default:
 		return total, nil
 	}
@@ -211,7 +230,7 @@ func countStreaming(g *graph.Graph, q *query.Query, plans []streamPlan, tr *trac
 
 // countJoin evaluates via the join evaluator and counts distinct head
 // tuples.
-func countJoin(g *graph.Graph, q *query.Query, tr *tracker) (int64, error) {
+func countJoin(g Source, q *query.Query, tr *tracker) (int64, error) {
 	set, err := joinTuples(g, q, tr)
 	if err != nil {
 		return 0, err
@@ -227,7 +246,7 @@ func countJoin(g *graph.Graph, q *query.Query, tr *tracker) (int64, error) {
 
 // joinTuples materializes per-conjunct relations and enumerates rule
 // bindings by backtracking joins, collecting distinct head tuples.
-func joinTuples(g *graph.Graph, q *query.Query, tr *tracker) (map[string][]int32, error) {
+func joinTuples(g Source, q *query.Query, tr *tracker) (map[string][]int32, error) {
 	out := make(map[string][]int32)
 	for ri := range q.Rules {
 		if err := joinRule(g, &q.Rules[ri], tr, out); err != nil {
@@ -237,7 +256,7 @@ func joinTuples(g *graph.Graph, q *query.Query, tr *tracker) (map[string][]int32
 	return out, nil
 }
 
-func joinRule(g *graph.Graph, r *query.Rule, tr *tracker, out map[string][]int32) error {
+func joinRule(g Source, r *query.Rule, tr *tracker, out map[string][]int32) error {
 	// Materialize each conjunct's relation, with a reverse index for
 	// bound-target lookups.
 	type crel struct {

@@ -382,3 +382,134 @@ func TestStreamingMatchesJoin(t *testing.T) {
 		}
 	}
 }
+
+// TestMixedProjectionUnionRegression pins the streaming-union
+// miscount: a union whose rules project different chain endpoints —
+// rule 1 head (start), rule 2 head (end), both arity 1 — must count
+// one shared node set. On pred a with edges 0->1 and 2->3 the answer
+// is |{0,2} union {1,3}| = 4; the pre-fix evaluator dispatched on
+// rule 1's projection alone and returned 2.
+func TestMixedProjectionUnionRegression(t *testing.T) {
+	g, err := graph.New([]string{"t"}, []int{4}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(2, 0, 3)
+	g.Freeze()
+	body := []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a")}}
+	q := &query.Query{Rules: []query.Rule{
+		{Head: []query.Var{0}, Body: body}, // sources {0,2}
+		{Head: []query.Var{1}, Body: body}, // targets {1,3}
+	}}
+	got, err := Count(g, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("mixed-projection union = %d, want 4", got)
+	}
+	// The join evaluator is the ground truth.
+	set, err := joinTuples(g, q, newTracker(Budget{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(set)) != got {
+		t.Fatalf("streaming %d != join %d", got, len(set))
+	}
+}
+
+// randomUnaryChainUnion builds a union of 1-3 chain rules, each
+// projecting a randomly chosen endpoint — the query family the
+// mixed-projection bug hid in.
+func randomUnaryChainUnion(r *rand.Rand, preds int) *query.Query {
+	numRules := 1 + r.Intn(3)
+	var rules []query.Rule
+	for ri := 0; ri < numRules; ri++ {
+		numConjuncts := 1 + r.Intn(2)
+		var body []query.Conjunct
+		for i := 0; i < numConjuncts; i++ {
+			var e regpath.Expr
+			numPaths := 1 + r.Intn(2)
+			for j := 0; j < numPaths; j++ {
+				plen := 1 + r.Intn(2)
+				var p regpath.Path
+				for k := 0; k < plen; k++ {
+					p = append(p, regpath.Symbol{
+						Pred:    string(rune('a' + r.Intn(preds))),
+						Inverse: r.Intn(2) == 0,
+					})
+				}
+				e.Paths = append(e.Paths, p)
+			}
+			e.Star = r.Intn(4) == 0
+			body = append(body, query.Conjunct{Src: query.Var(i), Dst: query.Var(i + 1), Expr: e})
+		}
+		head := query.Var(0) // chain start
+		if r.Intn(2) == 0 {
+			head = query.Var(numConjuncts) // chain end
+		}
+		rules = append(rules, query.Rule{Head: []query.Var{head}, Body: body})
+	}
+	return &query.Query{Rules: rules}
+}
+
+// TestStreamingMixedUnaryMatchesJoin cross-checks the streaming
+// evaluator against the join evaluator on random chain unions whose
+// rules project mixed endpoints (the differential companion to the
+// pinned regression above).
+func TestStreamingMixedUnaryMatchesJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		g := randomGraph(r, 10+r.Intn(20), 2, 30+r.Intn(50))
+		q := randomUnaryChainUnion(r, 2)
+		if _, ok := planStreaming(g, q); !ok {
+			t.Fatalf("trial %d: chain union did not plan as streaming:\n%s", trial, q)
+		}
+		streaming, err := Count(g, q, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := joinTuples(g, q, newTracker(Budget{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streaming != int64(len(set)) {
+			t.Fatalf("trial %d: streaming=%d join=%d for query\n%s",
+				trial, streaming, len(set), q)
+		}
+	}
+}
+
+// TestStreamingBudgetCharged: the streaming unary paths must charge
+// the budget for result-set growth, so a tiny MaxPairs trips exactly
+// as it does on the join path.
+func TestStreamingBudgetCharged(t *testing.T) {
+	g := cycleGraph(t, 50)
+	for _, tc := range []struct {
+		name string
+		head query.Var
+	}{{"source", 0}, {"target", 1}} {
+		q := &query.Query{Rules: []query.Rule{{
+			Head: []query.Var{tc.head},
+			Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a")}},
+		}}}
+		if plans, ok := planStreaming(g, q); !ok || len(plans) != 1 {
+			t.Fatalf("%s: not a streaming plan", tc.name)
+		}
+		if _, err := Count(g, q, Budget{MaxPairs: 3}); !errors.Is(err, ErrBudget) {
+			t.Errorf("%s projection: tiny MaxPairs not enforced: %v", tc.name, err)
+		}
+		n, err := Count(g, q, Budget{MaxPairs: 1000})
+		if err != nil || n != 50 {
+			t.Errorf("%s projection: count = %d, %v", tc.name, n, err)
+		}
+	}
+	// Boolean queries charge their single witness tuple.
+	qb := &query.Query{Rules: []query.Rule{{
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("a")}},
+	}}}
+	if n, err := Count(g, qb, Budget{MaxPairs: 1}); err != nil || n != 1 {
+		t.Errorf("boolean under budget: %d, %v", n, err)
+	}
+}

@@ -81,7 +81,7 @@ type symbolID struct {
 }
 
 // resolveSymbol maps a regpath symbol to graph ids.
-func resolveSymbol(g *graph.Graph, s regpath.Symbol) (symbolID, error) {
+func resolveSymbol(g Source, s regpath.Symbol) (symbolID, error) {
 	p := g.PredIndex(s.Pred)
 	if p < 0 {
 		return symbolID{}, fmt.Errorf("eval: unknown predicate %q", s.Pred)
@@ -91,7 +91,7 @@ func resolveSymbol(g *graph.Graph, s regpath.Symbol) (symbolID, error) {
 
 // stepSet computes the image of the node set src under one symbol,
 // adding results to dst (dst may equal a scratch set).
-func stepSet(g *graph.Graph, src *bitset.Set, sym symbolID, dst *bitset.Set) {
+func stepSet(g Source, src *bitset.Set, sym symbolID, dst *bitset.Set) {
 	src.Range(func(v int32) bool {
 		for _, w := range g.Neighbors(v, sym.pred, sym.inv) {
 			dst.Add(w)
@@ -103,7 +103,7 @@ func stepSet(g *graph.Graph, src *bitset.Set, sym symbolID, dst *bitset.Set) {
 // exprImage computes the image of set src under expression e,
 // replacing dst's contents. scratchA/B are reusable sets of graph
 // capacity.
-func exprImage(g *graph.Graph, e compiledExpr, src, dst, scratchA, scratchB *bitset.Set, tr *tracker) error {
+func exprImage(g Source, e compiledExpr, src, dst, scratchA, scratchB *bitset.Set, tr *tracker) error {
 	dst.Clear()
 	if !e.star {
 		return altImage(g, e.paths, src, dst, scratchA, scratchB)
@@ -136,7 +136,7 @@ func exprImage(g *graph.Graph, e compiledExpr, src, dst, scratchA, scratchB *bit
 
 // altImage adds the image of src under the alternation of paths into
 // dst (without clearing dst).
-func altImage(g *graph.Graph, paths [][]symbolID, src, dst, scratchA, scratchB *bitset.Set) error {
+func altImage(g Source, paths [][]symbolID, src, dst, scratchA, scratchB *bitset.Set) error {
 	for _, path := range paths {
 		if len(path) == 0 {
 			// Epsilon disjunct.
@@ -168,7 +168,7 @@ type compiledExpr struct {
 	epsMask *bitset.Set
 }
 
-func compileExpr(g *graph.Graph, e regpath.Expr) (compiledExpr, error) {
+func compileExpr(g Source, e regpath.Expr) (compiledExpr, error) {
 	if err := e.Validate(); err != nil {
 		return compiledExpr{}, err
 	}
@@ -215,7 +215,7 @@ type BoundarySym struct {
 // edge). This matches the type-level rule of the selectivity
 // estimator, and all evaluators and engines share it so recursive
 // query counts agree.
-func StarDomain(g *graph.Graph, firsts, lasts []BoundarySym) *bitset.Set {
+func StarDomain(g Source, firsts, lasts []BoundarySym) *bitset.Set {
 	mask := bitset.New(g.NumNodes())
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		for _, s := range firsts {
@@ -271,7 +271,7 @@ func (r *Rel) Pairs() int64 {
 // EvalExpr materializes the relation denoted by expression e on g.
 // For starred expressions the relation includes the identity on all
 // nodes (zero-length paths).
-func EvalExpr(g *graph.Graph, e regpath.Expr, b Budget) (*Rel, error) {
+func EvalExpr(g Source, e regpath.Expr, b Budget) (*Rel, error) {
 	ce, err := compileExpr(g, e)
 	if err != nil {
 		return nil, err
@@ -279,7 +279,7 @@ func EvalExpr(g *graph.Graph, e regpath.Expr, b Budget) (*Rel, error) {
 	return evalCompiled(g, ce, newTracker(b))
 }
 
-func evalCompiled(g *graph.Graph, ce compiledExpr, tr *tracker) (*Rel, error) {
+func evalCompiled(g Source, ce compiledExpr, tr *tracker) (*Rel, error) {
 	n := g.NumNodes()
 	rel := &Rel{N: n, Rows: make(map[int32][]int32)}
 	src := bitset.New(n)
@@ -312,7 +312,7 @@ func evalCompiled(g *graph.Graph, ce compiledExpr, tr *tracker) (*Rel, error) {
 
 // canStart reports whether node v has at least one edge matching the
 // first symbol of some disjunct (epsilon disjuncts always match).
-func canStart(g *graph.Graph, ce compiledExpr, v int32) bool {
+func canStart(g Source, ce compiledExpr, v int32) bool {
 	for _, p := range ce.paths {
 		if len(p) == 0 {
 			return true

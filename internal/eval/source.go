@@ -1,0 +1,31 @@
+package eval
+
+import "gmark/internal/graph"
+
+// Source is the minimal read-only graph access the evaluator needs.
+// Two implementations exist: the in-memory *graph.Graph (frozen CSR
+// adjacency) and SpillSource (node-range CSR shards loaded on demand
+// from a graphgen CSR spill directory), so the same Count runs at
+// in-memory and at beyond-memory scale.
+//
+// Implementations must be safe for use from a single evaluation
+// goroutine; SpillSource additionally synchronizes internally so one
+// source can serve concurrent evaluations.
+type Source interface {
+	// NumNodes returns the number of nodes; ids are dense in
+	// [0, NumNodes).
+	NumNodes() int
+	// PredIndex resolves a predicate name to its id, or -1 when the
+	// source has no such predicate.
+	PredIndex(name string) graph.PredID
+	// Neighbors returns v's out-neighbors (inverse false) or
+	// in-neighbors (inverse true) under predicate p, sorted ascending.
+	// The slice is shared with the source and must not be modified; an
+	// out-of-core source may recycle the backing shard under memory
+	// pressure, so callers should consume it before the next call
+	// rather than retaining it.
+	Neighbors(v graph.NodeID, p graph.PredID, inverse bool) []int32
+}
+
+// The in-memory graph is the reference Source.
+var _ Source = (*graph.Graph)(nil)

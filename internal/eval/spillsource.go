@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+)
+
+// DefaultSpillCacheBytes is the shard-cache budget of a SpillSource
+// opened with cacheBytes <= 0.
+const DefaultSpillCacheBytes = 256 << 20
+
+// SpillSource is the out-of-core Source: it answers Neighbors from a
+// graphgen CSR spill directory, loading one (predicate, direction,
+// node-range) shard file at a time into a bounded LRU cache. A
+// streaming Count therefore touches only the shard files its frontier
+// reaches, and peak memory stays under the cache budget no matter how
+// large the spilled instance is.
+type SpillSource struct {
+	spill     *graphgen.CSRSpill
+	predIndex map[string]graph.PredID
+
+	mu      sync.Mutex
+	cache   map[shardKey]*list.Element
+	order   *list.List // front = most recently used
+	budget  int64
+	used    int64
+	stats   SpillCacheStats
+	loadErr error // sticky: first shard-load failure
+}
+
+// shardKey addresses one cached shard.
+type shardKey struct {
+	pred graph.PredID
+	inv  bool
+	idx  int // position in the direction's shard list
+}
+
+// cachedShard is one loaded shard plus its LRU bookkeeping.
+type cachedShard struct {
+	key   shardKey
+	lo    int32
+	off   []int32
+	adj   []int32
+	bytes int64
+}
+
+// SpillCacheStats reports shard-cache behavior of a SpillSource: how
+// many Neighbors lookups hit a resident shard, how many shard files
+// were loaded (including reloads after eviction), and the eviction
+// count. Loads == distinct shards touched when nothing was evicted.
+type SpillCacheStats struct {
+	Hits      int64
+	Loads     int64
+	Evictions int64
+	BytesUsed int64
+}
+
+// OpenSpillSource opens a CSR spill directory as an evaluation Source.
+// cacheBytes bounds the resident shard bytes (<= 0 selects
+// DefaultSpillCacheBytes); a single shard larger than the budget is
+// still admitted alone, so evaluation always makes progress.
+func OpenSpillSource(dir string, cacheBytes int64) (*SpillSource, error) {
+	spill, err := graphgen.OpenCSRSpill(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewSpillSource(spill, cacheBytes), nil
+}
+
+// NewSpillSource wraps an already-opened spill.
+func NewSpillSource(spill *graphgen.CSRSpill, cacheBytes int64) *SpillSource {
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultSpillCacheBytes
+	}
+	s := &SpillSource{
+		spill:     spill,
+		predIndex: make(map[string]graph.PredID, len(spill.Manifest.Predicates)),
+		cache:     make(map[shardKey]*list.Element),
+		order:     list.New(),
+		budget:    cacheBytes,
+	}
+	for i, p := range spill.Manifest.Predicates {
+		s.predIndex[p.Name] = graph.PredID(i)
+	}
+	return s
+}
+
+// NumNodes implements Source.
+func (s *SpillSource) NumNodes() int { return s.spill.Manifest.Nodes }
+
+// Manifest returns the opened spill's manifest.
+func (s *SpillSource) Manifest() graphgen.CSRManifest { return s.spill.Manifest }
+
+// NumEdges returns the spilled edge count.
+func (s *SpillSource) NumEdges() int { return s.spill.Manifest.Edges }
+
+// PredIndex implements Source.
+func (s *SpillSource) PredIndex(name string) graph.PredID {
+	if p, ok := s.predIndex[name]; ok {
+		return p
+	}
+	return -1
+}
+
+// Neighbors implements Source. Lookup failures — a shard file that
+// fails to load, or a manifest structurally inconsistent with the
+// instance — cannot surface through the Source interface; they stick
+// and must be checked with Err after evaluation (CountOverSpill does),
+// so a broken spill is never mistaken for a sparse one.
+func (s *SpillSource) Neighbors(v graph.NodeID, p graph.PredID, inverse bool) []int32 {
+	shardNodes := s.spill.Manifest.ShardNodes
+	if shardNodes <= 0 {
+		s.fail(fmt.Errorf("eval: spill manifest has shard_nodes %d", shardNodes))
+		return nil
+	}
+	idx := int(v) / shardNodes
+	sh, err := s.shard(shardKey{pred: p, inv: inverse, idx: idx})
+	if err != nil {
+		return nil
+	}
+	local := int(v) - int(sh.lo)
+	if local < 0 || local+1 >= len(sh.off) {
+		// Manifest Lo disagreeing with idx*ShardNodes, or a shard
+		// narrower than its manifest range: structural corruption, not
+		// a sparse node.
+		s.fail(fmt.Errorf("eval: node %d outside shard %d range [%d,%d)", v, idx, sh.lo, int(sh.lo)+len(sh.off)-1))
+		return nil
+	}
+	return sh.adj[sh.off[local]:sh.off[local+1]]
+}
+
+// fail records the first lookup failure.
+func (s *SpillSource) fail(err error) {
+	s.mu.Lock()
+	if s.loadErr == nil {
+		s.loadErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first shard-load failure, if any. A non-nil Err
+// invalidates every evaluation result obtained since the failure.
+func (s *SpillSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadErr
+}
+
+// CacheStats returns a snapshot of the shard-cache counters.
+func (s *SpillSource) CacheStats() SpillCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BytesUsed = s.used
+	return st
+}
+
+// shard returns the cached shard for key, loading and evicting as
+// needed. The file read happens outside the mutex so concurrent
+// evaluations sharing one source never serialize on each other's disk
+// I/O; two goroutines missing on the same key may both load it, and
+// the second insert wins the re-check (the first load is wasted work,
+// not an error).
+func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
+	s.mu.Lock()
+	if el, ok := s.cache[key]; ok {
+		s.order.MoveToFront(el)
+		s.stats.Hits++
+		sh := el.Value.(*cachedShard)
+		s.mu.Unlock()
+		return sh, nil
+	}
+	meta, err := s.shardMeta(key)
+	if err != nil {
+		if s.loadErr == nil {
+			s.loadErr = err
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+
+	off, adj, err := s.spill.LoadShard(meta)
+	if err == nil && len(off) != meta.Hi-meta.Lo+1 {
+		err = fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
+			meta.File, len(off)-1, meta.Hi-meta.Lo)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.loadErr == nil {
+			s.loadErr = err
+		}
+		return nil, err
+	}
+	if el, ok := s.cache[key]; ok {
+		// Another goroutine loaded this shard while we read the file;
+		// keep the resident copy.
+		s.order.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*cachedShard), nil
+	}
+	sh := &cachedShard{
+		key:   key,
+		lo:    int32(meta.Lo),
+		off:   off,
+		adj:   adj,
+		bytes: 4 * int64(len(off)+len(adj)),
+	}
+	s.stats.Loads++
+	s.used += sh.bytes
+	s.cache[key] = s.order.PushFront(sh)
+	// Evict least-recently-used shards down to the budget, but never
+	// the shard just admitted.
+	for s.used > s.budget && s.order.Len() > 1 {
+		el := s.order.Back()
+		old := el.Value.(*cachedShard)
+		s.order.Remove(el)
+		delete(s.cache, old.key)
+		s.used -= old.bytes
+		s.stats.Evictions++
+	}
+	return sh, nil
+}
+
+// shardMeta resolves key against the manifest; called with s.mu held.
+func (s *SpillSource) shardMeta(key shardKey) (graphgen.CSRShard, error) {
+	preds := s.spill.Manifest.Predicates
+	if int(key.pred) >= len(preds) {
+		return graphgen.CSRShard{}, fmt.Errorf("eval: spill has no predicate %d", key.pred)
+	}
+	shards := preds[key.pred].Fwd
+	if key.inv {
+		shards = preds[key.pred].Bwd
+	}
+	if key.idx < 0 || key.idx >= len(shards) {
+		return graphgen.CSRShard{}, fmt.Errorf("eval: shard %d outside spill range (%d shards in manifest)", key.idx, len(shards))
+	}
+	return shards[key.idx], nil
+}
+
+// CountOverSpill evaluates q over a spill-backed source and returns
+// |Q(G)|, surfacing any shard-load failure the Source interface had to
+// swallow mid-evaluation.
+func CountOverSpill(s *SpillSource, q *query.Query, b Budget) (int64, error) {
+	n, err := Count(s, q, b)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Err(); err != nil {
+		return 0, fmt.Errorf("eval: spill shard load: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+	"gmark/internal/usecases"
+)
+
+// SpillEvalRow reports the out-of-core evaluation study for one
+// (use case, query, cache budget): the same Count once over the frozen
+// in-memory graph and once over its CSR spill with a bounded shard
+// cache, plus the cache behavior that explains the gap.
+type SpillEvalRow struct {
+	Usecase    string
+	Nodes      int
+	Edges      int
+	Query      string
+	Count      int64
+	InMemory   time.Duration
+	Spill      time.Duration
+	CacheBytes int64
+	Loads      int64
+	Hits       int64
+	Evictions  int64
+}
+
+// Slowdown is Spill/InMemory.
+func (r SpillEvalRow) Slowdown() float64 {
+	if r.InMemory <= 0 {
+		return 0
+	}
+	return float64(r.Spill) / float64(r.InMemory)
+}
+
+// spillEvalQueries builds the two-query battery per schema: one
+// single-step chain and one inverse join chain over the schema's first
+// predicate (the pattern of the paper's selectivity experiments).
+func spillEvalQueries(pred string) []struct {
+	label string
+	q     *query.Query
+} {
+	mk := func(expr string) *query.Query {
+		return &query.Query{Rules: []query.Rule{{
+			Head: []query.Var{0, 1},
+			Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse(expr)}},
+		}}}
+	}
+	return []struct {
+		label string
+		q     *query.Query
+	}{
+		{pred, mk(pred)},
+		{pred + "-." + pred, mk(pred + "-." + pred)},
+	}
+}
+
+// SpillEval measures spill-backed evaluation against the in-memory
+// evaluator on every built-in use case: the instance is generated
+// once, spilled once (reusing the frozen adjacency), and each query is
+// counted over the graph and over the spill at a generous and at a
+// deliberately tight shard-cache budget. Counts must agree; the rows
+// record the time and cache cost of staying out of core.
+func SpillEval(opt Options) ([]SpillEvalRow, error) {
+	opt = opt.withDefaults()
+	size := 20_000
+	if opt.Full {
+		size = 100_000
+	}
+	if len(opt.Sizes) > 0 {
+		size = opt.Sizes[0]
+	}
+	// Node-range width chosen so instances split into a few dozen
+	// shards per (predicate, direction) — enough for the tight budget
+	// to actually evict.
+	shardNodes := size/32 + 1
+
+	var rows []SpillEvalRow
+	for _, uc := range usecases.Names {
+		ucRows, err := spillEvalUsecase(opt, uc, size, shardNodes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ucRows...)
+	}
+	return rows, nil
+}
+
+// spillEvalUsecase runs the study for one use case; the temp spill
+// directory is cleaned up on every return path.
+func spillEvalUsecase(opt Options, uc string, size, shardNodes int) ([]SpillEvalRow, error) {
+	g, err := buildGraph(uc, size, opt.Seed, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "gmark-spill-eval-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+		return nil, err
+	}
+	cfg, err := usecases.ByName(uc, size)
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.Schema.Predicates[0].Name
+	var rows []SpillEvalRow
+	for _, qc := range spillEvalQueries(pred) {
+		start := time.Now()
+		want, err := eval.Count(g, qc.q, opt.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s in-memory %s: %w", uc, qc.label, err)
+		}
+		inMem := time.Since(start)
+		for _, cacheBytes := range []int64{64 << 10, eval.DefaultSpillCacheBytes} {
+			src, err := eval.OpenSpillSource(dir, cacheBytes)
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			got, err := eval.CountOverSpill(src, qc.q, opt.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("%s spill %s: %w", uc, qc.label, err)
+			}
+			spillTime := time.Since(start)
+			if got != want {
+				return nil, fmt.Errorf("%s %s: spill count %d != in-memory %d", uc, qc.label, got, want)
+			}
+			st := src.CacheStats()
+			row := SpillEvalRow{
+				Usecase: uc, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+				Query: qc.label, Count: got,
+				InMemory: inMem, Spill: spillTime, CacheBytes: cacheBytes,
+				Loads: st.Loads, Hits: st.Hits, Evictions: st.Evictions,
+			}
+			rows = append(rows, row)
+			opt.progressf("spill-eval %s %s cache=%s: in-mem %v, spill %v (%.1fx), %d loads / %d evictions",
+				uc, qc.label, fmtBytes(cacheBytes), inMem.Round(time.Microsecond),
+				spillTime.Round(time.Microsecond), row.Slowdown(), st.Loads, st.Evictions)
+		}
+	}
+	return rows, nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGiB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	default:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+}
+
+// RenderSpillEval prints the rows.
+func RenderSpillEval(w io.Writer, rows []SpillEvalRow) {
+	fmt.Fprintf(w, "%-5s %-28s %10s %8s %12s %12s %9s %7s %6s\n",
+		"", "query", "count", "cache", "in-memory", "spill", "slowdown", "loads", "evict")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-28s %10d %8s %12v %12v %8.1fx %7d %6d\n",
+			r.Usecase, r.Query, r.Count, fmtBytes(r.CacheBytes),
+			r.InMemory.Round(time.Microsecond), r.Spill.Round(time.Microsecond),
+			r.Slowdown(), r.Loads, r.Evictions)
+	}
+}

@@ -59,29 +59,57 @@ type CSRShard struct {
 	Edges int    `json:"edges"`
 }
 
-// CSRSpillSink accumulates the generated edges per predicate and, at
-// Flush, freezes them into node-range-sharded binary CSR files (both
-// directions) for out-of-core query evaluation. Unlike GraphSink it
-// never builds a Graph: the CSR build runs through the same
-// range-sharded graph.BuildAdjacency code path Freeze uses and the
-// result goes straight to disk.
-//
-// Note the asymmetry: the *output* is an out-of-core format, but this
-// *writer* buffers the whole edge set (plus one direction's CSR at a
-// time) in memory until Flush — writing a spill needs roughly the
-// memory Generate would; only the downstream evaluator escapes it. An
-// incremental per-range spill writer is a roadmap item.
+// csrSpillBufferEdges is the total number of (from, to) pairs the
+// spill sink buffers in memory before spilling every buffered run to
+// its per-(predicate, direction, node-range) temp file. Each routed
+// edge occupies two pairs (one per direction), 8 bytes each, so the
+// default bounds the buffers near 16 MiB. A variable so tests can
+// force spilling on small inputs.
+var csrSpillBufferEdges = 1 << 21
+
+// csrRunDir is the temp subdirectory holding raw per-range edge runs
+// during emission; it is removed by Flush and Abort.
+const csrRunDir = "runs-tmp"
+
+// CSRSpillSink writes the generated edges as node-range-sharded binary
+// CSR files (both directions) for out-of-core query evaluation. The
+// writer is incremental: during emission each edge is routed to its
+// forward (by source) and backward (by destination) node range and
+// buffered; when the buffers exceed a fixed budget they are appended
+// to raw per-(predicate, direction, range) run files on disk. Flush
+// merges one range at a time — read its run, build the range's CSR
+// through the same graph.BuildAdjacency code path Freeze uses, write
+// the shard — so peak writer memory is bounded by the buffer budget
+// plus a single node-range's edges, never by the whole instance:
+// producing a spill no longer needs Generate-sized memory. The shard
+// bytes are identical to WriteCSRSpillFromGraph's (test-pinned).
 type CSRSpillSink struct {
 	dir        string
 	shardNodes int
+	nRanges    int
 	typeNames  []string
 	typeCounts []int
 	predNames  []string
 	numNodes   int
 
-	srcs, dsts [][]int32
-	edges      int
-	aborted    bool
+	// bufs[(p*2+dir)*nRanges + r] buffers the pairs of predicate p,
+	// direction dir (0 forward, keyed by source; 1 backward, keyed by
+	// destination), node range r. from is the range-owning endpoint.
+	bufs     []csrRunBuf
+	buffered int // pairs currently buffered across all bufs
+
+	maxBuffered int  // high-water mark of buffered (memory-bound tests)
+	spilledRuns bool // whether any run file was written
+
+	edges   int
+	aborted bool
+}
+
+// csrRunBuf is one (predicate, direction, node-range) buffer plus
+// whether part of its run already lives on disk.
+type csrRunBuf struct {
+	from, to []int32
+	onDisk   bool
 }
 
 // NewCSRSpillSink creates dir (and parents) and returns a spill sink
@@ -101,19 +129,51 @@ func NewCSRSpillSink(dir string, cfg *schema.GraphConfig, shardNodes int) (*CSRS
 		typeNames:  typeNames,
 		typeCounts: typeCounts,
 		predNames:  predNames,
-		srcs:       make([][]int32, len(predNames)),
-		dsts:       make([][]int32, len(predNames)),
 	}
 	for _, c := range typeCounts {
 		sink.numNodes += c
 	}
+	sink.nRanges = (sink.numNodes + shardNodes - 1) / shardNodes
+	if sink.nRanges == 0 {
+		sink.nRanges = 1 // an empty instance still writes one shard
+	}
+	sink.bufs = make([]csrRunBuf, len(predNames)*2*sink.nRanges)
 	return sink, nil
+}
+
+// bufIndex addresses the buffer of (pred, direction, range).
+func (s *CSRSpillSink) bufIndex(pred graph.PredID, backward bool, rng int) int {
+	d := 0
+	if backward {
+		d = 1
+	}
+	return (int(pred)*2+d)*s.nRanges + rng
+}
+
+// route buffers one pair into its owning range, spilling all buffers
+// to run files when the budget is exceeded.
+func (s *CSRSpillSink) route(pred graph.PredID, backward bool, from, to int32) error {
+	b := &s.bufs[s.bufIndex(pred, backward, int(from)/s.shardNodes)]
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	s.buffered++
+	if s.buffered > s.maxBuffered {
+		s.maxBuffered = s.buffered
+	}
+	if s.buffered >= csrSpillBufferEdges {
+		return s.drainRuns()
+	}
+	return nil
 }
 
 // AddEdge implements EdgeSink.
 func (s *CSRSpillSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
-	s.srcs[pred] = append(s.srcs[pred], src)
-	s.dsts[pred] = append(s.dsts[pred], dst)
+	if err := s.route(pred, false, src, dst); err != nil {
+		return err
+	}
+	if err := s.route(pred, true, dst, src); err != nil {
+		return err
+	}
 	s.edges++
 	return nil
 }
@@ -123,25 +183,114 @@ func (s *CSRSpillSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID
 	if len(srcs) != len(dsts) {
 		return fmt.Errorf("graphgen: batch length mismatch: %d sources, %d targets", len(srcs), len(dsts))
 	}
-	s.srcs[pred] = append(s.srcs[pred], srcs...)
-	s.dsts[pred] = append(s.dsts[pred], dsts...)
-	s.edges += len(srcs)
+	for i := range srcs {
+		if err := s.AddEdge(srcs[i], pred, dsts[i]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Abort implements AbortableEdgeSink: a failed run drops the buffered
-// edges and writes nothing — no shard files, no manifest — so a
-// downstream OpenCSRSpill cannot mistake partial output for a spill.
-func (s *CSRSpillSink) Abort() {
-	s.aborted = true
-	for p := range s.srcs {
-		s.srcs[p], s.dsts[p] = nil, nil
+// runPath names the run file of (pred, direction, range).
+func (s *CSRSpillSink) runPath(pred int, backward bool, rng int) string {
+	tag := "f"
+	if backward {
+		tag = "b"
 	}
+	return filepath.Join(s.dir, csrRunDir, fmt.Sprintf("run-%s-%03d-%06d.bin", tag, pred, rng))
 }
 
-// Flush implements EdgeSink: builds each predicate's forward and
-// backward CSR (range-sharded across cores) and spills the node-range
-// shards plus the manifest. After Abort it is a no-op.
+// drainRuns appends every non-empty buffer to its run file and
+// releases the buffer storage — capacities are dropped, not kept,
+// because retained high-water capacity would otherwise accumulate
+// across all (predicate, direction, range) buffers and grow with the
+// range count, exactly the unbounded footprint the incremental writer
+// exists to avoid. Run files are opened, appended and closed per drain
+// so the sink never holds more than one descriptor.
+func (s *CSRSpillSink) drainRuns() error {
+	if err := os.MkdirAll(filepath.Join(s.dir, csrRunDir), 0o755); err != nil {
+		return err
+	}
+	for p := range s.predNames {
+		for _, backward := range []bool{false, true} {
+			for r := 0; r < s.nRanges; r++ {
+				b := &s.bufs[s.bufIndex(graph.PredID(p), backward, r)]
+				if len(b.from) == 0 {
+					continue
+				}
+				if err := appendRunPairs(s.runPath(p, backward, r), b.from, b.to); err != nil {
+					return err
+				}
+				b.onDisk = true
+				b.from, b.to = nil, nil
+			}
+		}
+	}
+	s.buffered = 0
+	s.spilledRuns = true
+	return nil
+}
+
+// appendRunPairs appends (from, to) pairs as little-endian uint32s.
+func appendRunPairs(path string, from, to []int32) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var buf [8]byte
+	for i := range from {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(from[i]))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(to[i]))
+		if _, err := bw.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readRunPairs loads a run file back into (from, to) slices. It is
+// only called for buffers that spilled, so a missing file means the
+// run data was lost (temp dir deleted externally, Flush run twice) —
+// that must fail the Flush, never silently write a spill with fewer
+// edges than its manifest claims.
+func readRunPairs(path string) (from, to []int32, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data)%8 != 0 {
+		return nil, nil, fmt.Errorf("graphgen: %s: truncated run file (%d bytes)", path, len(data))
+	}
+	n := len(data) / 8
+	from = make([]int32, n)
+	to = make([]int32, n)
+	for i := 0; i < n; i++ {
+		from[i] = int32(binary.LittleEndian.Uint32(data[8*i:]))
+		to[i] = int32(binary.LittleEndian.Uint32(data[8*i+4:]))
+	}
+	return from, to, nil
+}
+
+// Abort implements AbortableEdgeSink: a failed run drops the buffers
+// and temp runs and writes nothing — no shard files, no manifest — so
+// a downstream OpenCSRSpill cannot mistake partial output for a spill.
+func (s *CSRSpillSink) Abort() {
+	s.aborted = true
+	s.bufs = nil
+	s.buffered = 0
+	os.RemoveAll(filepath.Join(s.dir, csrRunDir))
+}
+
+// Flush implements EdgeSink: merges each (predicate, direction,
+// node-range) run — disk runs plus the still-buffered tail — into its
+// final CSR shard file and writes the manifest. Only one range's edges
+// are resident at a time. After Abort it is a no-op.
 func (s *CSRSpillSink) Flush() error {
 	if s.aborted {
 		return nil
@@ -157,21 +306,64 @@ func (s *CSRSpillSink) Flush() error {
 	}
 	for p, name := range s.predNames {
 		entry := CSRSpillPredicate{Name: name}
-		off, adj := graph.BuildAdjacency(s.numNodes, s.srcs[p], s.dsts[p], workers)
 		var err error
-		entry.Fwd, err = writeCSRDirection(s.dir, s.shardNodes, s.numNodes, p, "f", off, adj)
+		entry.Fwd, err = s.flushDirection(p, false, workers)
 		if err != nil {
 			return err
 		}
-		off, adj = graph.BuildAdjacency(s.numNodes, s.dsts[p], s.srcs[p], workers)
-		entry.Bwd, err = writeCSRDirection(s.dir, s.shardNodes, s.numNodes, p, "b", off, adj)
+		entry.Bwd, err = s.flushDirection(p, true, workers)
 		if err != nil {
 			return err
 		}
-		s.srcs[p], s.dsts[p] = nil, nil // release before the next build
 		m.Predicates = append(m.Predicates, entry)
 	}
+	if err := os.RemoveAll(filepath.Join(s.dir, csrRunDir)); err != nil {
+		return err
+	}
 	return writeJSONFile(filepath.Join(s.dir, csrManifestFile), &m)
+}
+
+// flushDirection merges one direction's ranges into shard files.
+func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRShard, error) {
+	tag := "f"
+	if backward {
+		tag = "b"
+	}
+	var shards []CSRShard
+	for r := 0; r < s.nRanges; r++ {
+		lo := r * s.shardNodes
+		hi := lo + s.shardNodes
+		if hi > s.numNodes {
+			hi = s.numNodes
+		}
+		b := &s.bufs[s.bufIndex(graph.PredID(p), backward, r)]
+		from, to := b.from, b.to
+		if b.onDisk {
+			var err error
+			// Disk runs first, then the buffered tail: emission order is
+			// preserved, though BuildAdjacency's per-node sort makes the
+			// shard bytes order-independent anyway.
+			from, to, err = readRunPairs(s.runPath(p, backward, r))
+			if err != nil {
+				return nil, err
+			}
+			from = append(from, b.from...)
+			to = append(to, b.to...)
+		}
+		// Rebase the owning endpoint to the range-local id space; the
+		// built offsets then match the shard format (off[0] == 0).
+		for i := range from {
+			from[i] -= int32(lo)
+		}
+		off, adj := graph.BuildAdjacency(hi-lo, from, to, workers)
+		b.from, b.to = nil, nil // release before the next range
+		sh, err := writeShardFile(s.dir, tag, p, r, lo, hi, off, adj)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
 }
 
 // Edges returns the number of edges consumed so far.
@@ -218,6 +410,19 @@ func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
 	return writeJSONFile(filepath.Join(dir, csrManifestFile), &m)
 }
 
+// writeShardFile writes one (predicate, direction, range) shard and
+// returns its manifest entry; shared by the from-graph writer and the
+// incremental sink's Flush so the filename format and manifest shape
+// cannot drift between the two byte-identical paths.
+func writeShardFile(dir, tag string, p, r, lo, hi int, off, adj []int32) (CSRShard, error) {
+	name := fmt.Sprintf("csr-%s-%03d-%06d.bin", tag, p, r)
+	edges, err := writeCSRShard(filepath.Join(dir, name), off, adj)
+	if err != nil {
+		return CSRShard{}, err
+	}
+	return CSRShard{File: name, Lo: lo, Hi: hi, Edges: edges}, nil
+}
+
 // writeCSRDirection writes one direction's node-range shard files
 // from a built CSR.
 func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off, adj []int32) ([]CSRShard, error) {
@@ -227,12 +432,11 @@ func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off,
 		if hi > numNodes {
 			hi = numNodes
 		}
-		name := fmt.Sprintf("csr-%s-%03d-%06d.bin", tag, p, lo/shardNodes)
-		edges, err := writeCSRShard(filepath.Join(dir, name), off[lo:hi+1], adj)
+		sh, err := writeShardFile(dir, tag, p, lo/shardNodes, lo, hi, off[lo:hi+1], adj)
 		if err != nil {
 			return nil, err
 		}
-		shards = append(shards, CSRShard{File: name, Lo: lo, Hi: hi, Edges: edges})
+		shards = append(shards, sh)
 		if hi == numNodes {
 			break
 		}

@@ -1,0 +1,113 @@
+package graphgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gmark/internal/usecases"
+)
+
+// TestCSRSpillSinkIncremental pins the incremental writer's two
+// contracts: (1) with a tiny buffer budget the sink spills raw runs to
+// disk during emission and its in-memory high-water mark stays at the
+// budget — peak writer memory is bounded by the budget plus one
+// node-range, not by the instance; (2) the resulting shard files and
+// manifest are byte-identical to a run with the default budget that
+// never spilled (and, via TestWriteCSRSpillFromGraph, to the frozen
+// in-memory graph's adjacency).
+func TestCSRSpillSinkIncremental(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 19}
+
+	bigDir := filepath.Join(t.TempDir(), "big")
+	big, err := NewCSRSpillSink(bigDir, cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(cfg, opt, big); err != nil {
+		t.Fatal(err)
+	}
+	if big.spilledRuns {
+		t.Fatal("default budget spilled runs on a tiny instance")
+	}
+
+	const budget = 512 // pairs; the instance has thousands of edges
+	defer func(old int) { csrSpillBufferEdges = old }(csrSpillBufferEdges)
+	csrSpillBufferEdges = budget
+
+	smallDir := filepath.Join(t.TempDir(), "small")
+	small, err := NewCSRSpillSink(smallDir, cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := Emit(cfg, opt, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*edges <= budget {
+		t.Fatalf("instance too small to exercise spilling: %d edges", edges)
+	}
+	if !small.spilledRuns {
+		t.Fatal("tiny budget never spilled a run file")
+	}
+	if small.maxBuffered > budget {
+		t.Fatalf("buffered high-water mark %d exceeds budget %d", small.maxBuffered, budget)
+	}
+	if _, err := os.Stat(filepath.Join(smallDir, csrRunDir)); !os.IsNotExist(err) {
+		t.Fatalf("Flush left the temp run directory behind (err=%v)", err)
+	}
+
+	// Byte-identical shards and manifest regardless of how often the
+	// writer spilled.
+	bigFiles, err := os.ReadDir(bigDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bigFiles) < 3 {
+		t.Fatalf("expected several spill files, got %d", len(bigFiles))
+	}
+	for _, f := range bigFiles {
+		a, err := os.ReadFile(filepath.Join(bigDir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(smallDir, f.Name()))
+		if err != nil {
+			t.Fatalf("incremental spill is missing %s: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: bytes differ between buffered and spilled runs", f.Name())
+		}
+	}
+}
+
+// TestCSRSpillSinkAbortRemovesRuns: aborting mid-run must leave no
+// temp run files (and, per TestAbortedRunWritesNoIndexes, no manifest).
+func TestCSRSpillSinkAbortRemovesRuns(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func(old int) { csrSpillBufferEdges = old }(csrSpillBufferEdges)
+	csrSpillBufferEdges = 64
+
+	dir := filepath.Join(t.TempDir(), "csr")
+	sink, err := NewCSRSpillSink(dir, cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(cfg, Options{Seed: 19}, MultiEdgeSink(&errorSink{after: 500}, sink)); err == nil {
+		t.Fatal("sink error not propagated")
+	}
+	if _, err := os.Stat(filepath.Join(dir, csrRunDir)); !os.IsNotExist(err) {
+		t.Fatalf("Abort left the temp run directory behind (err=%v)", err)
+	}
+	if _, err := OpenCSRSpill(dir); err == nil {
+		t.Fatal("aborted run left a csr manifest")
+	}
+}
