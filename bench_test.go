@@ -605,3 +605,82 @@ func BenchmarkSpillEval(b *testing.B) {
 		b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
 	})
 }
+
+// BenchmarkEngineSpill measures the simulated engines over a CSR spill
+// against the same engines in memory: the per-engine cost of staying
+// out of core, warm (working set resident) and cold (cache starved so
+// shards reload mid-evaluation). D's recursive run also exercises the
+// bitmap-backed StarDomain — the epsilon mask costs zero shard loads.
+// Recorded in BENCH_generate.json.
+func BenchmarkEngineSpill(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	dir := b.TempDir()
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 1024); err != nil {
+		b.Fatal(err)
+	}
+	join := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("authors-.authors")}},
+	}}}
+	rec := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("(heldIn-.heldIn)*")}},
+	}}}
+	cases := []struct {
+		name string
+		eng  engines.Engine
+		q    *query.Query
+	}{
+		{"S-join", engines.NewTripleStore(), join},
+		{"D-join", engines.NewDatalog(), join},
+		{"D-star", engines.NewDatalog(), rec},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/in-memory", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.eng.Evaluate(g, c.q, eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/spill-warm", func(b *testing.B) {
+			src, err := eval.OpenSpillSource(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.eng.Evaluate(src, c.q, eval.Budget{}); err != nil {
+				b.Fatal(err) // warm the cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.eng.Evaluate(src, c.q, eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+			st := src.CacheStats()
+			b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Loads)*100, "hit%")
+		})
+		b.Run(c.name+"/spill-cold", func(b *testing.B) {
+			src, err := eval.OpenSpillSource(dir, 32<<10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.eng.Evaluate(src, c.q, eval.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+			st := src.CacheStats()
+			b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+		})
+	}
+}

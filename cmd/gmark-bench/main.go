@@ -8,7 +8,7 @@
 //	gmark-bench -exp all -full         # everything at paper scale
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
-// qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, all.
+// qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, all.
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 	log.SetPrefix("gmark-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, all)")
 		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
@@ -65,7 +65,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -151,6 +151,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderSpillEval(os.Stdout, rows)
+	case "spill-engines":
+		rows, err := experiments.SpillEngines(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpillEngines(os.Stdout, rows)
 	case "coverage":
 		rows, err := experiments.Coverage(opt)
 		if err != nil {

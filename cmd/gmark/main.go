@@ -15,15 +15,19 @@
 //	gmark -config config.xml -out ./out -ntriples
 //	gmark -usecase bib -verify -syntax sparql,sql -workload-out ./queries
 //	gmark -eval-spill ./out/csr -eval-query "authors-.authors" -eval-cache-mb 64
+//	gmark -eval-spill ./out/csr -eval-query "(authors-.authors)*" -eval-engine all
 package main
 
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
+	"gmark/internal/engines"
 	"gmark/internal/eval"
 	"gmark/internal/gconfig"
 	"gmark/internal/graphgen"
@@ -65,14 +69,18 @@ func main() {
 		evalSpill   = flag.String("eval-spill", "", "evaluate -eval-query over this CSR spill directory (written by -csr-spill) and exit; generation is skipped")
 		evalQuery   = flag.String("eval-query", "", "regular path expression to count over the spill, e.g. \"authors-.authors\"")
 		evalCacheMB = flag.Int("eval-cache-mb", 0, "shard-cache budget in MiB for -eval-spill (0 = default 256 MiB)")
+		evalEngine  = flag.String("eval-engine", "", "evaluate -eval-query with a simulated engine instead of the reference evaluator: P, G, S, D, or \"all\" to compare every engine")
 	)
 	flag.Parse()
 
 	if *evalSpill != "" {
-		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB); err != nil {
+		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB, *evalEngine); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *evalEngine != "" {
+		log.Fatal("-eval-engine requires -eval-spill")
 	}
 
 	var gcfg *schema.GraphConfig
@@ -335,9 +343,10 @@ var errMissingEvalQuery = errors.New("-eval-spill requires -eval-query (a regula
 
 // evalOverSpill is the out-of-core evaluation mode: it opens a CSR
 // spill directory, counts the distinct (source, target) pairs of one
-// regular path expression over it, and reports the shard-cache
-// behavior — without ever materializing the instance.
-func evalOverSpill(dir, expr string, cacheMB int) error {
+// regular path expression over it — with the reference evaluator or a
+// selected simulated engine — and reports the shard-cache behavior,
+// without ever materializing the instance.
+func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
 	if expr == "" {
 		return errMissingEvalQuery
 	}
@@ -355,14 +364,49 @@ func evalOverSpill(dir, expr string, cacheMB int) error {
 	}
 	log.Printf("spill: %d nodes, %d edges, %d predicates in %s",
 		src.NumNodes(), src.NumEdges(), len(src.Manifest().Predicates), dir)
-	n, err := eval.CountOverSpill(src, q, eval.Budget{})
-	if err != nil {
-		return err
+
+	switch engine {
+	case "":
+		n, err := eval.CountOverSpill(src, q, eval.Budget{})
+		if err != nil {
+			return err
+		}
+		log.Printf("count(%s) = %d", expr, n)
+	case "all":
+		failed := 0
+		for _, eng := range engines.All() {
+			start := time.Now()
+			n, err := eng.Evaluate(src, q, eval.Budget{})
+			if err == nil {
+				err = src.Err()
+			}
+			if err != nil {
+				failed++
+				log.Printf("engine %s: failed after %v: %v", eng.Name(), time.Since(start).Round(time.Millisecond), err)
+				continue
+			}
+			log.Printf("engine %s: count(%s) = %d in %v", eng.Name(), expr, n, time.Since(start).Round(time.Millisecond))
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d engines failed", failed, len(engines.All()))
+		}
+	default:
+		eng, err := engines.ByName(engine)
+		if err != nil {
+			return err
+		}
+		n, err := eng.Evaluate(src, q, eval.Budget{})
+		if err == nil {
+			err = src.Err()
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("engine %s: count(%s) = %d", eng.Name(), expr, n)
 	}
 	st := src.CacheStats()
-	log.Printf("count(%s) = %d", expr, n)
-	log.Printf("shard cache: %d loads, %d hits, %d evictions, %d bytes resident",
-		st.Loads, st.Hits, st.Evictions, st.BytesUsed)
+	log.Printf("shard cache: %d loads, %d hits, %d evictions, %d domain-rebuild reads, %d bytes resident",
+		st.Loads, st.Hits, st.Evictions, st.DomainRebuilds, st.BytesUsed)
 	return nil
 }
 

@@ -30,6 +30,7 @@ package gmark
 
 import (
 	"io"
+	"time"
 
 	"gmark/internal/dist"
 	"gmark/internal/engines"
@@ -359,6 +360,56 @@ func CountOverSpill(s *GraphSpillSource, q *Query, b Budget) (int64, error) {
 // Engines returns the four simulated systems (P, G, S, D) of the
 // paper's engine comparison.
 func Engines() []Engine { return engines.All() }
+
+// EngineByName returns the simulated system with the given one-letter
+// name (P, G, S, D).
+var EngineByName = engines.ByName
+
+// EngineComparison is one engine's result in a cross-engine run: the
+// count it produced, how long it took, and the failure (budget
+// violation, spill corruption) if it did not complete.
+type EngineComparison struct {
+	Engine  string
+	Count   int64
+	Elapsed time.Duration
+	Err     error
+}
+
+// CompareEngines evaluates the query on every simulated engine over
+// any evaluation source — the frozen in-memory graph or an opened CSR
+// spill — and returns one result per engine in the paper's P, G, S, D
+// order. Sources that accumulate sticky lookup failures (an Err()
+// method, like GraphSpillSource) are re-checked after every engine, so
+// a shard-load failure invalidates the affected engine's count and
+// every later one rather than passing as a silently small result.
+// Engine G's recursive counts follow its documented openCypher
+// rewriting, so they are comparable across sources but not across
+// engines.
+func CompareEngines(src EvalSource, q *Query, b Budget) []EngineComparison {
+	sticky, _ := src.(interface{ Err() error })
+	all := engines.All()
+	out := make([]EngineComparison, 0, len(all))
+	for _, eng := range all {
+		start := time.Now()
+		n, err := eng.Evaluate(src, q, b)
+		if err == nil && sticky != nil {
+			err = sticky.Err()
+		}
+		out = append(out, EngineComparison{
+			Engine:  eng.Name(),
+			Count:   n,
+			Elapsed: time.Since(start),
+			Err:     err,
+		})
+	}
+	return out
+}
+
+// CompareEnginesOverSpill is CompareEngines over an opened spill,
+// kept as the spill-typed entry point mirroring CountOverSpill.
+func CompareEnginesOverSpill(s *GraphSpillSource, q *Query, b Budget) []EngineComparison {
+	return CompareEngines(s, q, b)
+}
 
 // Workload analysis.
 type (

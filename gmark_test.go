@@ -307,3 +307,53 @@ func TestSpillEvaluationViaFacade(t *testing.T) {
 		t.Error("no shards loaded through the facade")
 	}
 }
+
+func TestCompareEnginesOverSpillViaFacade(t *testing.T) {
+	cfg := smallConfig(1200)
+	g, err := gmark.GenerateGraph(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := gmark.WriteGraphCSRSpill(dir, g, 150); err != nil {
+		t.Fatal(err)
+	}
+	src, err := gmark.OpenGraphSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := gmark.ParsePathExpr("owns.tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &gmark.Query{Rules: []gmark.Rule{{
+		Head: []gmark.Var{0, 1},
+		Body: []gmark.Conjunct{{Src: 0, Dst: 1, Expr: expr}},
+	}}}
+	want, err := gmark.Count(g, q, gmark.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := gmark.CompareEnginesOverSpill(src, q, gmark.Budget{})
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Engine] = true
+		if r.Err != nil {
+			t.Fatalf("engine %s over spill: %v", r.Engine, r.Err)
+		}
+		if r.Count != want {
+			t.Errorf("engine %s over spill = %d, want %d", r.Engine, r.Count, want)
+		}
+	}
+	for _, name := range []string{"P", "G", "S", "D"} {
+		if !seen[name] {
+			t.Errorf("missing engine %s in comparison", name)
+		}
+		if _, err := gmark.EngineByName(name); err != nil {
+			t.Errorf("EngineByName(%s): %v", name, err)
+		}
+	}
+}

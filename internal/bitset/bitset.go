@@ -133,3 +133,44 @@ func (s *Set) AppendTo(dst []int32) []int32 {
 	})
 	return dst
 }
+
+// AnyInRange reports whether any element lies in [lo, hi).
+func (s *Set) AnyInRange(lo, hi int32) bool {
+	if lo >= hi {
+		return false
+	}
+	loW, hiW := int(lo>>6), int((hi-1)>>6)
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		return s.words[loW]&loMask&hiMask != 0
+	}
+	if s.words[loW]&loMask != 0 || s.words[hiW]&hiMask != 0 {
+		return true
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if s.words[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Words returns the backing 64-bit words (bit i of word w is element
+// w*64+i), for serialization. The slice is shared with the set and
+// must not be modified.
+func (s *Set) Words() []uint64 { return s.words }
+
+// FromWords builds a set of capacity n from serialized words (the
+// layout Words returns). Extra words are dropped, missing words read
+// as empty, and bits at or above n are cleared, so a file produced
+// against a different node count can never yield out-of-range
+// elements.
+func FromWords(n int, words []uint64) *Set {
+	s := New(n)
+	copy(s.words, words)
+	if n%64 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(n) % 64)) - 1
+	}
+	return s
+}

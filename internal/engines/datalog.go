@@ -6,7 +6,6 @@ import (
 
 	"gmark/internal/bitset"
 	"gmark/internal/eval"
-	"gmark/internal/graph"
 	"gmark/internal/query"
 )
 
@@ -88,7 +87,7 @@ func (r *rowRel) pairs() []pair {
 }
 
 // Evaluate implements Engine.
-func (e *DatalogEngine) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+func (e *DatalogEngine) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
@@ -112,7 +111,7 @@ func (e *DatalogEngine) Evaluate(g *graph.Graph, q *query.Query, budget eval.Bud
 }
 
 // evalConjunct materializes one conjunct relation bottom-up.
-func (e *DatalogEngine) evalConjunct(g *graph.Graph, cj *compiledConjunct, bt *dlBudget) (*rowRel, error) {
+func (e *DatalogEngine) evalConjunct(g eval.Source, cj *compiledConjunct, bt *dlBudget) (*rowRel, error) {
 	base, err := e.alternation(g, cj.paths, bt)
 	if err != nil {
 		return nil, err
@@ -124,7 +123,7 @@ func (e *DatalogEngine) evalConjunct(g *graph.Graph, cj *compiledConjunct, bt *d
 }
 
 // alternation unions the per-path relations.
-func (e *DatalogEngine) alternation(g *graph.Graph, paths [][]csym, bt *dlBudget) (*rowRel, error) {
+func (e *DatalogEngine) alternation(g eval.Source, paths [][]csym, bt *dlBudget) (*rowRel, error) {
 	n := g.NumNodes()
 	out := newRowRel(n)
 	scratch := bitset.New(n)
@@ -178,7 +177,7 @@ func (e *DatalogEngine) alternation(g *graph.Graph, paths [][]csym, bt *dlBudget
 // semiNaiveClosure computes the reflexive-transitive closure with
 // delta rows: each iteration only extends the newly discovered
 // frontier of each source, the textbook semi-naive strategy.
-func (e *DatalogEngine) semiNaiveClosure(g *graph.Graph, cj *compiledConjunct, base *rowRel, bt *dlBudget) (*rowRel, error) {
+func (e *DatalogEngine) semiNaiveClosure(g eval.Source, cj *compiledConjunct, base *rowRel, bt *dlBudget) (*rowRel, error) {
 	n := g.NumNodes()
 	out := newRowRel(n)
 	scratch := bitset.New(n)

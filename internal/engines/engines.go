@@ -27,10 +27,12 @@
 //     (Table 4), at the price of blurring the constant/linear gap on
 //     non-recursive workloads.
 //
-// All engines implement the same Engine interface, run on
-// graph.Graph instances, and honor an eval.Budget whose violation is
-// reported as eval.ErrBudget — the analogue of the paper's "manually
-// terminated after unexpectedly long running times".
+// All engines implement the same Engine interface, run on any
+// eval.Source — the frozen in-memory graph.Graph or a spill-backed
+// eval.SpillSource, so the Section 7 comparison runs at beyond-memory
+// scale too — and honor an eval.Budget whose violation is reported as
+// eval.ErrBudget, the analogue of the paper's "manually terminated
+// after unexpectedly long running times".
 package engines
 
 import (
@@ -48,9 +50,18 @@ type Engine interface {
 	Name() string
 	// Describe returns a one-line architectural description.
 	Describe() string
-	// Evaluate runs the query and returns the number of distinct
-	// result tuples. Budget violations return eval.ErrBudget.
-	Evaluate(g *graph.Graph, q *query.Query, b eval.Budget) (int64, error)
+	// Evaluate runs the query over any evaluation source — in-memory
+	// graph or CSR spill — and returns the number of distinct result
+	// tuples. Budget violations return eval.ErrBudget.
+	Evaluate(g eval.Source, q *query.Query, b eval.Budget) (int64, error)
+}
+
+// predEdgeCounter is implemented by sources that know per-predicate
+// edge counts without scanning adjacency (both *graph.Graph and
+// eval.SpillSource do). Engines use it purely as an allocation hint;
+// a source without it still evaluates correctly.
+type predEdgeCounter interface {
+	PredEdgeCount(p graph.PredID) int
 }
 
 // All returns the four engines in the paper's P, G, S, D order.
@@ -92,7 +103,7 @@ type csym struct {
 	inv  bool
 }
 
-func compile(g *graph.Graph, q *query.Query) (*compiled, error) {
+func compile(g eval.Source, q *query.Query) (*compiled, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +143,7 @@ func pairKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b
 // starDomain returns the nodes over which a starred conjunct matches
 // the zero-length path; all engines share eval.StarDomain's definition
 // so recursive counts agree across systems.
-func starDomain(g *graph.Graph, cj *compiledConjunct) *bitset.Set {
+func starDomain(g eval.Source, cj *compiledConjunct) *bitset.Set {
 	var firsts, lasts []eval.BoundarySym
 	for _, p := range cj.paths {
 		if len(p) == 0 {

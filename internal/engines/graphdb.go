@@ -79,7 +79,7 @@ func (b *gdbBudget) charge(n int64) error {
 }
 
 // Evaluate implements Engine.
-func (e *GraphDB) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+func (e *GraphDB) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
@@ -94,7 +94,7 @@ func (e *GraphDB) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (
 	return out.count(), nil
 }
 
-func (e *GraphDB) evalRule(g *graph.Graph, r *compiledRule, bt *gdbBudget, out *tupleSet) error {
+func (e *GraphDB) evalRule(g eval.Source, r *compiledRule, bt *gdbBudget, out *tupleSet) error {
 	binding := make(map[query.Var]int32)
 	tuple := make([]int32, len(r.head))
 	emit := func() {
@@ -178,7 +178,7 @@ func (e *GraphDB) evalRule(g *graph.Graph, r *compiledRule, bt *gdbBudget, out *
 // deduplication, every endpoint reachable from `from` along any
 // disjunct (duplicates trigger redundant downstream work — the
 // traversal engine's cost profile).
-func (e *GraphDB) traversePaths(g *graph.Graph, paths [][]csym, from int32, forward bool, bt *gdbBudget, visit func(int32) error) error {
+func (e *GraphDB) traversePaths(g eval.Source, paths [][]csym, from int32, forward bool, bt *gdbBudget, visit func(int32) error) error {
 	for _, p := range paths {
 		syms := p
 		if !forward {
@@ -211,7 +211,7 @@ func (e *GraphDB) traversePaths(g *graph.Graph, paths [][]csym, from int32, forw
 // openCypher restriction: only the first non-inverse symbol of the
 // first disjunct survives; the traversal is a BFS over that single
 // label (Cypher's *0.. semantics).
-func (e *GraphDB) traverseStar(g *graph.Graph, cj *compiledConjunct, from int32, forward bool, bt *gdbBudget, visit func(int32) error) error {
+func (e *GraphDB) traverseStar(g eval.Source, cj *compiledConjunct, from int32, forward bool, bt *gdbBudget, visit func(int32) error) error {
 	label, ok := restrictedStarLabel(cj)
 	if !ok {
 		// Nothing usable under the star: Cypher matches only the

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"gmark/internal/eval"
-	"gmark/internal/graph"
 	"gmark/internal/query"
 )
 
@@ -61,7 +60,7 @@ func (b *pgBudget) checkTime() error {
 }
 
 // Evaluate implements Engine.
-func (e *Postgres) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+func (e *Postgres) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
@@ -76,7 +75,7 @@ func (e *Postgres) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) 
 	return out.count(), nil
 }
 
-func (e *Postgres) evalRule(g *graph.Graph, r *compiledRule, bt *pgBudget, out *tupleSet) error {
+func (e *Postgres) evalRule(g eval.Source, r *compiledRule, bt *pgBudget, out *tupleSet) error {
 	rels := make([][]pair, len(r.body))
 	for i := range r.body {
 		rel, err := e.evalConjunct(g, &r.body[i], bt)
@@ -90,7 +89,7 @@ func (e *Postgres) evalRule(g *graph.Graph, r *compiledRule, bt *pgBudget, out *
 
 // evalConjunct materializes one conjunct relation: the union of its
 // disjunct path joins, closed under the star if present.
-func (e *Postgres) evalConjunct(g *graph.Graph, cj *compiledConjunct, bt *pgBudget) ([]pair, error) {
+func (e *Postgres) evalConjunct(g eval.Source, cj *compiledConjunct, bt *pgBudget) ([]pair, error) {
 	base, err := e.evalAlternation(g, cj.paths, bt)
 	if err != nil {
 		return nil, err
@@ -102,7 +101,7 @@ func (e *Postgres) evalConjunct(g *graph.Graph, cj *compiledConjunct, bt *pgBudg
 }
 
 // evalAlternation unions the materialized disjunct relations.
-func (e *Postgres) evalAlternation(g *graph.Graph, paths [][]csym, bt *pgBudget) ([]pair, error) {
+func (e *Postgres) evalAlternation(g eval.Source, paths [][]csym, bt *pgBudget) ([]pair, error) {
 	seen := make(map[uint64]struct{})
 	var out []pair
 	for _, path := range paths {
@@ -126,7 +125,7 @@ func (e *Postgres) evalAlternation(g *graph.Graph, paths [][]csym, bt *pgBudget)
 }
 
 // evalPath joins the symbol relations of a path left to right.
-func (e *Postgres) evalPath(g *graph.Graph, path []csym, bt *pgBudget) ([]pair, error) {
+func (e *Postgres) evalPath(g eval.Source, path []csym, bt *pgBudget) ([]pair, error) {
 	if len(path) == 0 {
 		out := make([]pair, g.NumNodes())
 		for v := int32(0); v < int32(g.NumNodes()); v++ {
@@ -172,8 +171,11 @@ func (e *Postgres) evalPath(g *graph.Graph, path []csym, bt *pgBudget) ([]pair, 
 }
 
 // symbolScan is a full scan of the edge table filtered on one label.
-func (e *Postgres) symbolScan(g *graph.Graph, s csym, bt *pgBudget) ([]pair, error) {
-	n := g.PredEdgeCount(s.pred)
+func (e *Postgres) symbolScan(g eval.Source, s csym, bt *pgBudget) ([]pair, error) {
+	var n int
+	if pc, ok := g.(predEdgeCounter); ok {
+		n = pc.PredEdgeCount(s.pred)
+	}
 	out := make([]pair, 0, n)
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		for _, w := range g.Neighbors(v, s.pred, s.inv) {
@@ -187,7 +189,7 @@ func (e *Postgres) symbolScan(g *graph.Graph, s csym, bt *pgBudget) ([]pair, err
 // relation via the recursive-view working-table iteration: the entire
 // closure is materialized pair by pair, which is exactly what breaks
 // P on quadratic closures (Table 4).
-func (e *Postgres) closure(g *graph.Graph, cj *compiledConjunct, base []pair, bt *pgBudget) ([]pair, error) {
+func (e *Postgres) closure(g eval.Source, cj *compiledConjunct, base []pair, bt *pgBudget) ([]pair, error) {
 	adj := make(map[int32][]int32)
 	for _, p := range base {
 		adj[p.src] = append(adj[p.src], p.dst)

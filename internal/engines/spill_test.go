@@ -1,0 +1,186 @@
+package engines
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+	"gmark/internal/usecases"
+)
+
+// engineSpillQueries builds the cross-source battery over a schema's
+// predicates: non-recursive chains (single symbol, inverse,
+// alternation, two conjuncts), a Kleene star, and a star-shaped rule
+// that exercises each engine's generic binding machinery.
+func engineSpillQueries(preds []string) []*query.Query {
+	p0 := preds[0]
+	p1 := preds[len(preds)-1]
+	bin := func(exprs ...string) *query.Query {
+		var body []query.Conjunct
+		for i, e := range exprs {
+			body = append(body, query.Conjunct{
+				Src: query.Var(i), Dst: query.Var(i + 1), Expr: regpath.MustParse(e),
+			})
+		}
+		return &query.Query{Rules: []query.Rule{{
+			Head: []query.Var{0, query.Var(len(exprs))},
+			Body: body,
+		}}}
+	}
+	return []*query.Query{
+		bin(p0),
+		bin(p0 + "-"),
+		bin("(" + p0 + "+" + p1 + "-)"),
+		bin(p0, p1+"-"),
+		bin("(" + p0 + ")*"),
+		{Rules: []query.Rule{{
+			Head: []query.Var{1, 2},
+			Body: []query.Conjunct{
+				{Src: 0, Dst: 1, Expr: regpath.MustParse(p0)},
+				{Src: 0, Dst: 2, Expr: regpath.MustParse(p1)},
+			},
+		}}},
+	}
+}
+
+// TestEnginesOverSpillMatchInMemory is the PR's acceptance property:
+// every engine produces the same count over a SpillSource as over the
+// frozen in-memory graph, for every built-in use case at shard widths
+// 1, 7 and the default. G's recursive answers differ from the other
+// engines by design (openCypher rewriting), so each engine is compared
+// against itself across sources, which pins exactly the porting
+// contract. Queries run concurrently over one shared SpillSource so
+// -race exercises the shard cache under engine access patterns.
+func TestEnginesOverSpillMatchInMemory(t *testing.T) {
+	for _, name := range usecases.Names {
+		for _, shardNodes := range []int{1, 7, 0} {
+			n := 220
+			if shardNodes == 1 {
+				n = 100 // width 1 writes two files per (node, predicate)
+			}
+			cfg, err := usecases.ByName(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(t.TempDir(), "csr")
+			if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+				t.Fatal(err)
+			}
+			// Small budget: engine access patterns must survive
+			// evictions mid-evaluation, not just a warm cache.
+			src := eval.NewSpillSource(mustOpen(t, dir), 1<<13)
+
+			var preds []string
+			for _, p := range cfg.Schema.Predicates {
+				preds = append(preds, p.Name)
+			}
+			var wg sync.WaitGroup
+			for qi, q := range engineSpillQueries(preds) {
+				for _, eng := range All() {
+					wg.Add(1)
+					go func(qi int, q *query.Query, eng Engine) {
+						defer wg.Done()
+						want, err := eng.Evaluate(g, q, eval.Budget{})
+						if err != nil {
+							t.Errorf("%s width=%d q%d engine %s in-memory: %v", name, shardNodes, qi, eng.Name(), err)
+							return
+						}
+						got, err := eng.Evaluate(src, q, eval.Budget{})
+						if err != nil {
+							t.Errorf("%s width=%d q%d engine %s spill: %v", name, shardNodes, qi, eng.Name(), err)
+							return
+						}
+						if got != want {
+							t.Errorf("%s width=%d q%d engine %s: spill=%d in-memory=%d for\n%s",
+								name, shardNodes, qi, eng.Name(), got, want, q)
+						}
+					}(qi, q, eng)
+				}
+				wg.Wait()
+			}
+			if err := src.Err(); err != nil {
+				t.Fatalf("%s width=%d: sticky spill error: %v", name, shardNodes, err)
+			}
+			if st := src.CacheStats(); st.Loads == 0 {
+				t.Fatalf("%s width=%d: engines never loaded a shard", name, shardNodes)
+			}
+		}
+	}
+}
+
+func hasStar(q *query.Query) bool {
+	for _, r := range q.Rules {
+		for _, c := range r.Body {
+			if c.Expr.Star {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func mustOpen(t *testing.T, dir string) *graphgen.CSRSpill {
+	t.Helper()
+	spill, err := graphgen.OpenCSRSpill(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spill
+}
+
+// TestEnginesAgainstReferenceOverSpill cross-checks P, S and D against
+// the reference evaluator with BOTH sides running over the spill — the
+// engines' counts must stay engine-independent out of core exactly as
+// they are in memory.
+func TestEnginesAgainstReferenceOverSpill(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "csr")
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 31); err != nil {
+		t.Fatal(err)
+	}
+	src, err := eval.OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds []string
+	for _, p := range cfg.Schema.Predicates {
+		preds = append(preds, p.Name)
+	}
+	for qi, q := range engineSpillQueries(preds) {
+		want, err := eval.CountOverSpill(src, q, eval.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range All() {
+			if eng.Name() == "G" && hasStar(q) {
+				// Cypher's *0.. matches every node on the zero-length
+				// path (and rewrites richer patterns), so G's recursive
+				// counts are not reference-comparable; the port contract
+				// for G is pinned by the in-memory-vs-spill test above.
+				continue
+			}
+			got, err := eng.Evaluate(src, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("q%d engine %s: %v", qi, eng.Name(), err)
+			}
+			if got != want {
+				t.Errorf("q%d engine %s over spill = %d, reference = %d", qi, eng.Name(), got, want)
+			}
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"gmark/internal/eval"
-	"gmark/internal/graph"
 	"gmark/internal/query"
 )
 
@@ -65,7 +64,7 @@ func (b *tsBudget) checkTime() error {
 }
 
 // Evaluate implements Engine.
-func (e *TripleStore) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budget) (int64, error) {
+func (e *TripleStore) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
@@ -80,7 +79,7 @@ func (e *TripleStore) Evaluate(g *graph.Graph, q *query.Query, budget eval.Budge
 	return out.count(), nil
 }
 
-func (e *TripleStore) evalRule(g *graph.Graph, r *compiledRule, bt *tsBudget, out *tupleSet) error {
+func (e *TripleStore) evalRule(g eval.Source, r *compiledRule, bt *tsBudget, out *tupleSet) error {
 	// Precompute closures of starred conjuncts (naive materialization:
 	// the architectural weakness of S on recursion).
 	closures := make([]map[int32][]int32, len(r.body))
@@ -222,7 +221,7 @@ func planOrder(r *compiledRule) []int {
 // pathImage computes the duplicate-free image of one node under the
 // alternation of paths, forward or backward, with per-binding hash
 // sets (the triple-store overhead).
-func (e *TripleStore) pathImage(g *graph.Graph, paths [][]csym, from int32, forward bool, bt *tsBudget) (map[int32]struct{}, error) {
+func (e *TripleStore) pathImage(g eval.Source, paths [][]csym, from int32, forward bool, bt *tsBudget) (map[int32]struct{}, error) {
 	result := make(map[int32]struct{})
 	for _, p := range paths {
 		frontier := map[int32]struct{}{from: {}}
@@ -264,7 +263,7 @@ func reversePath(p []csym) []csym {
 // starred conjunct with naive iteration: each round rejoins the whole
 // accumulated relation against the one-step relation (no delta), the
 // behavior that makes S fail on recursion beyond small graphs.
-func (e *TripleStore) naiveClosure(g *graph.Graph, cj *compiledConjunct, bt *tsBudget) (map[int32][]int32, error) {
+func (e *TripleStore) naiveClosure(g eval.Source, cj *compiledConjunct, bt *tsBudget) (map[int32][]int32, error) {
 	n := int32(g.NumNodes())
 	// One-step adjacency via per-source path images.
 	step := make(map[int32][]int32)
@@ -324,7 +323,7 @@ func (e *TripleStore) naiveClosure(g *graph.Graph, cj *compiledConjunct, bt *tsB
 }
 
 // closureImage reads one row (or column) of a materialized closure.
-func closureImage(cl map[int32][]int32, from int32, forward bool, g *graph.Graph) (map[int32]struct{}, error) {
+func closureImage(cl map[int32][]int32, from int32, forward bool, g eval.Source) (map[int32]struct{}, error) {
 	out := make(map[int32]struct{})
 	if forward {
 		for _, w := range cl[from] {

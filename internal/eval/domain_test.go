@@ -1,0 +1,323 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/regpath"
+	"gmark/internal/usecases"
+)
+
+// buildSpill generates a use-case instance and spills it at the given
+// shard width, returning the frozen graph and the spill directory.
+func buildSpill(t *testing.T, uc string, n, shardNodes int) (*graph.Graph, string) {
+	t.Helper()
+	cfg, err := usecases.ByName(uc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "csr")
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+		t.Fatal(err)
+	}
+	return g, dir
+}
+
+// stripDomains rewrites a spill directory into the legacy
+// (pre-format_version-2) layout: domain files deleted, manifest fields
+// cleared — the fixture every backward-compatibility test runs
+// against.
+func stripDomains(t *testing.T, dir string) {
+	t.Helper()
+	path := filepath.Join(dir, "csr-index.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m graphgen.CSRManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.FormatVersion = 0
+	for i := range m.Predicates {
+		for _, f := range []string{m.Predicates[i].FwdDomain, m.Predicates[i].BwdDomain} {
+			if f == "" {
+				t.Fatalf("predicate %d: spill was written without domain files", i)
+			}
+			if err := os.Remove(filepath.Join(dir, f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Predicates[i].FwdDomain = ""
+		m.Predicates[i].BwdDomain = ""
+	}
+	out, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// starQuery is the recursive battery: (p)* as a binary chain.
+func starQuery(pred string) *query.Query {
+	return &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("(" + pred + ")*")}},
+	}}}
+}
+
+// TestStarDomainOverSpillZeroSweeps is the PR's acceptance property: a
+// recursive query over a spill with persisted active-domain bitmaps
+// builds its epsilon mask from the bitmaps alone — zero shard loads,
+// zero rebuild sweeps — and the mask equals the in-memory scan's.
+func TestStarDomainOverSpillZeroSweeps(t *testing.T) {
+	g, dir := buildSpill(t, "bib", 300, 7)
+	src, err := OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := src.Manifest().Predicates[0].Name
+	pid := src.PredIndex(p0)
+	syms := []BoundarySym{{Pred: pid, Inv: false}}
+
+	mask := StarDomain(src, syms, syms)
+	st := src.CacheStats()
+	if st.Loads != 0 || st.DomainRebuilds != 0 {
+		t.Fatalf("StarDomain over bitmap spill did %d loads, %d rebuild reads; want 0, 0", st.Loads, st.DomainRebuilds)
+	}
+	want := StarDomain(g, syms, syms)
+	if mask.Count() != want.Count() {
+		t.Fatalf("bitmap mask has %d nodes, scan mask %d", mask.Count(), want.Count())
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if mask.Has(v) != want.Has(v) {
+			t.Fatalf("mask disagrees at node %d: bitmap=%v scan=%v", v, mask.Has(v), want.Has(v))
+		}
+	}
+
+	// The full recursive count still loads only the shards the closure
+	// walk itself reaches, never a whole-instance sweep for the mask.
+	wantCount, err := Count(g, starQuery(p0), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountOverSpill(src, starQuery(p0), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantCount {
+		t.Fatalf("(%s)* over spill = %d, in-memory = %d", p0, got, wantCount)
+	}
+	if st := src.CacheStats(); st.DomainRebuilds != 0 {
+		t.Fatalf("recursive count rebuilt domains (%d shard reads) despite persisted bitmaps", st.DomainRebuilds)
+	}
+}
+
+// TestLegacySpillStillEvaluates pins backward compatibility: a spill
+// written without active-domain bitmaps (the pre-format_version-2
+// layout) opens and evaluates to the same counts, rebuilding the
+// bitmaps lazily by a one-time shard sweep.
+func TestLegacySpillStillEvaluates(t *testing.T) {
+	g, dir := buildSpill(t, "bib", 300, 7)
+	stripDomains(t, dir)
+
+	src, err := OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatalf("legacy spill failed to open: %v", err)
+	}
+	p0 := src.Manifest().Predicates[0].Name
+	for _, q := range []*query.Query{
+		starQuery(p0),
+		{Rules: []query.Rule{{
+			Head: []query.Var{0, 1},
+			Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse(p0)}},
+		}}},
+	} {
+		want, err := Count(g, q, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountOverSpill(src, q, Budget{})
+		if err != nil {
+			t.Fatalf("legacy spill evaluation: %v", err)
+		}
+		if got != want {
+			t.Fatalf("legacy spill count %d != in-memory %d for\n%s", got, want, q)
+		}
+	}
+	st := src.CacheStats()
+	if st.DomainRebuilds == 0 {
+		t.Fatal("legacy spill evaluated without rebuilding any domain bitmap")
+	}
+
+	// The rebuild is cached: a second recursive count adds no reads.
+	before := st.DomainRebuilds
+	if _, err := CountOverSpill(src, starQuery(p0), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := src.CacheStats().DomainRebuilds; after != before {
+		t.Fatalf("domain rebuild not cached: %d reads grew to %d", before, after)
+	}
+}
+
+// TestFutureManifestRejected: a manifest claiming a newer
+// format_version than this reader must be refused, not misread.
+func TestFutureManifestRejected(t *testing.T) {
+	_, dir := buildSpill(t, "bib", 100, 0)
+	path := filepath.Join(dir, "csr-index.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m graphgen.CSRManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.FormatVersion = 99
+	out, _ := json.Marshal(&m)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graphgen.OpenCSRSpill(dir); err == nil {
+		t.Fatal("future format_version opened without error")
+	} else if !strings.Contains(err.Error(), "format_version") {
+		t.Fatalf("unhelpful rejection: %v", err)
+	}
+}
+
+// TestScanSkipsInactiveRanges: with persisted bitmaps the streaming
+// scan prunes by active domain, so shards whose node range holds no
+// candidate source are never read. Node ids are laid out by type, so a
+// predicate whose sources are one type touches only that type's
+// shards.
+func TestScanSkipsInactiveRanges(t *testing.T) {
+	g, dir := buildSpill(t, "bib", 400, 7)
+	src, err := OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := src.Manifest().Predicates[0].Name
+	pid := g.PredIndex(p0)
+
+	// Expected loads: the (p0, fwd) shards whose range contains at
+	// least one node with an outgoing p0 edge — exactly what a chain
+	// walk from every active source touches.
+	shardNodes := src.Manifest().ShardNodes
+	active := map[int]bool{}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if g.OutDegree(v, pid) > 0 {
+			active[int(v)/shardNodes] = true
+		}
+	}
+	total := len(src.Manifest().Predicates[0].Fwd)
+	if len(active) == 0 || len(active) == total {
+		t.Fatalf("degenerate layout: %d of %d shards active; test needs inactive ranges", len(active), total)
+	}
+
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse(p0)}},
+	}}}
+	want, err := Count(g, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountOverSpill(src, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("count %d != in-memory %d", got, want)
+	}
+	if st := src.CacheStats(); st.Loads != int64(len(active)) {
+		t.Errorf("scan loaded %d shards, want exactly the %d active ones (of %d total)",
+			st.Loads, len(active), total)
+	}
+}
+
+// TestReversedStarKeepsEpsilonMask is the regression test for the
+// reversed-plan epsilon mask: a head (end, start) star rule must count
+// exactly what its (start, end) twin counts — zero-length matches stay
+// restricted to the star's active domain after the chain is reversed
+// (compiledExpr.reverse used to drop epsMask, admitting every isolated
+// node as a spurious (v, v) pair).
+func TestReversedStarKeepsEpsilonMask(t *testing.T) {
+	g, err := graph.New([]string{"t"}, []int{3}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(0, 0, 1) // node 2 stays isolated: outside (a)*'s domain
+	g.Freeze()
+	star := regpath.MustParse("(a)")
+	star.Star = true
+	fwd := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: star}},
+	}}}
+	rev := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{1, 0},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: star}},
+	}}}
+	want, err := Count(g, fwd, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 3 { // (0,0), (1,1), (0,1)
+		t.Fatalf("forward (a)* = %d, want 3", want)
+	}
+	got, err := Count(g, rev, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reversed-head (a)* = %d, forward = %d", got, want)
+	}
+}
+
+// TestCorruptDomainFileFallsBack: an unreadable active-domain bitmap
+// must degrade to the shard-sweep rebuild (like a legacy spill), never
+// fail an otherwise intact spill.
+func TestCorruptDomainFileFallsBack(t *testing.T) {
+	g, dir := buildSpill(t, "bib", 300, 7)
+	// Corrupt every domain file, not just the first predicate's.
+	matches, err := filepath.Glob(filepath.Join(dir, "dom-*.bin"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no domain files found (%v)", err)
+	}
+	for _, m := range matches {
+		if err := os.WriteFile(m, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := src.Manifest().Predicates[0].Name
+	want, err := Count(g, starQuery(p0), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountOverSpill(src, starQuery(p0), Budget{})
+	if err != nil {
+		t.Fatalf("corrupt bitmap failed the evaluation instead of degrading: %v", err)
+	}
+	if got != want {
+		t.Fatalf("count over corrupt-bitmap spill = %d, in-memory = %d", got, want)
+	}
+	if st := src.CacheStats(); st.DomainRebuilds == 0 {
+		t.Fatal("corrupt bitmap did not trigger a rebuild sweep")
+	}
+}

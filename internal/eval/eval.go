@@ -141,6 +141,13 @@ func chainEndpoints(r query.Rule) (start, end query.Var, ok bool) {
 // (start) and head (end) rules — so all unary projections accumulate
 // into one shared node set and the final dispatch goes by query arity,
 // never by any single rule's projection.
+//
+// The source scan is ordered by the source's storage ranges (one spill
+// shard's sources are exhausted before the next shard loads), and each
+// plan carries a startFilter so a range no plan can start in is
+// skipped with pure bitmap work — over a spill with persisted
+// active-domain bitmaps, shards holding no candidate sources are never
+// read at all.
 func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (int64, error) {
 	n := g.NumNodes()
 	cur := bitset.New(n)
@@ -150,72 +157,81 @@ func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (
 	nodeUnion := bitset.New(n) // global union of projected endpoints (unary heads)
 	arity := q.Arity()
 
+	filters := make([]startFilter, len(plans))
+	for i := range plans {
+		filters[i] = startFilterFor(g, plans[i].exprs[0])
+	}
+
 	var total int64
-	for v := int32(0); v < int32(n); v++ {
-		if err := tr.checkTime(); err != nil {
-			return 0, err
+	for _, rg := range nodeRanges(g) {
+		if !rangeHasStart(filters, rg) {
+			continue
 		}
-		accUsed := false
-		for _, p := range plans {
-			// A non-star first expression that cannot make its first
-			// step at v matches nothing from v (the same restriction
-			// evalCompiled applies); star expressions still contribute
-			// zero-length matches inside their domain.
-			if first := p.exprs[0]; !first.star && !canStart(g, first, v) {
-				continue
-			}
-			// A source projection can only ever contribute v itself;
-			// skip the chain walk once v is in the result.
-			if p.proj == projSource && nodeUnion.Has(v) {
-				continue
-			}
-			cur.Clear()
-			cur.Add(v)
-			ok := true
-			for _, e := range p.exprs {
-				if err := exprImage(g, e, cur, nxt, sa, sb, tr); err != nil {
-					return 0, err
-				}
-				cur.CopyFrom(nxt)
-				if cur.Empty() {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			switch p.proj {
-			case projBoolean:
-				// The first witness decides a Boolean query; stop
-				// scanning the remaining sources.
-				if err := tr.charge(1); err != nil {
-					return 0, err
-				}
-				return 1, nil
-			case projSource:
-				nodeUnion.Add(v)
-				if err := tr.charge(1); err != nil {
-					return 0, err
-				}
-			case projTarget:
-				if added := nodeUnion.UnionWithCount(cur); added > 0 {
-					if err := tr.charge(int64(added)); err != nil {
-						return 0, err
-					}
-				}
-			case projPair:
-				acc.UnionWith(cur)
-				accUsed = true
-			}
-		}
-		if accUsed {
-			c := int64(acc.Count())
-			total += c
-			if err := tr.charge(c); err != nil {
+		for v := rg.Lo; v < rg.Hi; v++ {
+			if err := tr.checkTime(); err != nil {
 				return 0, err
 			}
-			acc.Clear()
+			accUsed := false
+			for pi, p := range plans {
+				// A source that cannot begin a match of the first
+				// expression contributes nothing from v (the same
+				// restriction evalCompiled applies).
+				if !filters[pi].startable(g, p.exprs[0], v) {
+					continue
+				}
+				// A source projection can only ever contribute v itself;
+				// skip the chain walk once v is in the result.
+				if p.proj == projSource && nodeUnion.Has(v) {
+					continue
+				}
+				cur.Clear()
+				cur.Add(v)
+				ok := true
+				for _, e := range p.exprs {
+					if err := exprImage(g, e, cur, nxt, sa, sb, tr); err != nil {
+						return 0, err
+					}
+					cur.CopyFrom(nxt)
+					if cur.Empty() {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				switch p.proj {
+				case projBoolean:
+					// The first witness decides a Boolean query; stop
+					// scanning the remaining sources.
+					if err := tr.charge(1); err != nil {
+						return 0, err
+					}
+					return 1, nil
+				case projSource:
+					nodeUnion.Add(v)
+					if err := tr.charge(1); err != nil {
+						return 0, err
+					}
+				case projTarget:
+					if added := nodeUnion.UnionWithCount(cur); added > 0 {
+						if err := tr.charge(int64(added)); err != nil {
+							return 0, err
+						}
+					}
+				case projPair:
+					acc.UnionWith(cur)
+					accUsed = true
+				}
+			}
+			if accUsed {
+				c := int64(acc.Count())
+				total += c
+				if err := tr.charge(c); err != nil {
+					return 0, err
+				}
+				acc.Clear()
+			}
 		}
 	}
 	switch arity {
@@ -226,6 +242,21 @@ func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (
 	default:
 		return total, nil
 	}
+}
+
+// rangeHasStart reports whether any plan may have a source inside the
+// range. Only fully masked filter sets can rule a range out; a probing
+// or unrestricted filter means the range must be visited.
+func rangeHasStart(filters []startFilter, rg NodeRange) bool {
+	for _, f := range filters {
+		if f.mask == nil {
+			return true
+		}
+		if f.mask.AnyInRange(rg.Lo, rg.Hi) {
+			return true
+		}
+	}
+	return false
 }
 
 // countJoin evaluates via the join evaluator and counts distinct head

@@ -215,7 +215,18 @@ type BoundarySym struct {
 // edge). This matches the type-level rule of the selectivity
 // estimator, and all evaluators and engines share it so recursive
 // query counts agree.
+//
+// When the source knows its per-predicate active domains (a spill with
+// persisted bitmaps), the mask is a pure bitmap union — no adjacency
+// is touched, so a recursive query over a spill no longer pays a
+// whole-instance shard sweep just to build its epsilon mask. Otherwise
+// it falls back to the full per-node scan.
 func StarDomain(g Source, firsts, lasts []BoundarySym) *bitset.Set {
+	if ds, ok := g.(DomainSource); ok {
+		if mask, err := starDomainFromDomains(ds, firsts, lasts); err == nil {
+			return mask
+		}
+	}
 	mask := bitset.New(g.NumNodes())
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		for _, s := range firsts {
@@ -239,9 +250,106 @@ func StarDomain(g Source, firsts, lasts []BoundarySym) *bitset.Set {
 	return mask
 }
 
+// starDomainFromDomains assembles the star domain from per-predicate
+// active-domain bitmaps: a node can start a disjunct iff it is in some
+// first symbol's domain, and end one iff it is in some last symbol's
+// inverse domain.
+func starDomainFromDomains(ds DomainSource, firsts, lasts []BoundarySym) (*bitset.Set, error) {
+	mask := bitset.New(ds.NumNodes())
+	for _, s := range firsts {
+		dom, err := ds.ActiveDomain(s.Pred, s.Inv)
+		if err != nil {
+			return nil, err
+		}
+		mask.UnionWith(dom)
+	}
+	for _, s := range lasts {
+		dom, err := ds.ActiveDomain(s.Pred, !s.Inv)
+		if err != nil {
+			return nil, err
+		}
+		mask.UnionWith(dom)
+	}
+	return mask, nil
+}
+
+// startFilter restricts the sources an evaluation must walk from,
+// replacing the per-node canStart probe when the restriction is known
+// up front. Exactly one interpretation applies: a nil mask with probe
+// false means every node is a source (an epsilon disjunct matches
+// anywhere); a non-nil mask means exactly its members are candidate
+// sources; probe true means nothing is precomputed and the caller must
+// test canStart per node.
+type startFilter struct {
+	mask  *bitset.Set
+	probe bool
+}
+
+// startable reports whether v may begin a match under the filter,
+// probing the source only in the probe case.
+func (f startFilter) startable(g Source, e compiledExpr, v int32) bool {
+	if f.mask != nil {
+		return f.mask.Has(v)
+	}
+	if f.probe {
+		return canStart(g, e, v)
+	}
+	return true
+}
+
+// startFilterFor derives the tightest cheap source restriction for a
+// compiled expression. Starred expressions without an epsilon disjunct
+// are restricted to their epsilon mask (outside it the zero-length
+// match is excluded and no first step exists, so the image from v is
+// empty); non-starred expressions use the union of their first
+// symbols' active domains when the source can supply them without
+// scanning, and otherwise fall back to per-node probing.
+func startFilterFor(g Source, e compiledExpr) startFilter {
+	for _, p := range e.paths {
+		if len(p) == 0 {
+			return startFilter{} // epsilon: every node matches itself
+		}
+	}
+	if e.star {
+		return startFilter{mask: e.epsMask}
+	}
+	if ds, ok := g.(DomainSource); ok {
+		mask := bitset.New(g.NumNodes())
+		complete := true
+		for _, p := range e.paths {
+			dom, err := ds.ActiveDomain(p[0].pred, p[0].inv)
+			if err != nil {
+				complete = false
+				break
+			}
+			mask.UnionWith(dom)
+		}
+		if complete {
+			return startFilter{mask: mask}
+		}
+	}
+	return startFilter{probe: true}
+}
+
+// nodeRanges returns the source's storage ranges, or the whole id
+// space as one range for sources without range structure.
+func nodeRanges(g Source) []NodeRange {
+	if rs, ok := g.(RangedSource); ok {
+		if r := rs.NodeRanges(); len(r) > 0 {
+			return r
+		}
+	}
+	return []NodeRange{{Lo: 0, Hi: int32(g.NumNodes())}}
+}
+
 // reverse returns the compiled expression of the inverse relation.
+// The epsilon mask carries over verbatim: the star domain is symmetric
+// under reversal (reversing swaps and inverts the first/last boundary
+// symbols, which yields the same can-start-or-end union), and dropping
+// it would let reversed star plans count zero-length matches outside
+// the active domain.
 func (e compiledExpr) reverse() compiledExpr {
-	r := compiledExpr{star: e.star, paths: make([][]symbolID, len(e.paths))}
+	r := compiledExpr{star: e.star, paths: make([][]symbolID, len(e.paths)), epsMask: e.epsMask}
 	for i, p := range e.paths {
 		rp := make([]symbolID, len(p))
 		for j, s := range p {
@@ -286,11 +394,13 @@ func evalCompiled(g Source, ce compiledExpr, tr *tracker) (*Rel, error) {
 	dst := bitset.New(n)
 	sa, sb := bitset.New(n), bitset.New(n)
 
-	// Restrict sources to nodes that can possibly start a path; for
-	// starred expressions every node relates to itself, so all nodes
-	// are sources.
+	// Restrict sources to nodes that can possibly start a path — via
+	// the precomputed filter (active-domain bitmaps or, for stars
+	// without epsilon, the epsilon mask) when available, else by
+	// probing each node's first-symbol adjacency.
+	filter := startFilterFor(g, ce)
 	for v := int32(0); v < int32(n); v++ {
-		if !ce.star && !canStart(g, ce, v) {
+		if !filter.startable(g, ce, v) {
 			continue
 		}
 		src.Clear()

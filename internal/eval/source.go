@@ -1,6 +1,9 @@
 package eval
 
-import "gmark/internal/graph"
+import (
+	"gmark/internal/bitset"
+	"gmark/internal/graph"
+)
 
 // Source is the minimal read-only graph access the evaluator needs.
 // Two implementations exist: the in-memory *graph.Graph (frozen CSR
@@ -29,3 +32,36 @@ type Source interface {
 
 // The in-memory graph is the reference Source.
 var _ Source = (*graph.Graph)(nil)
+
+// NodeRange is one contiguous node-id interval [Lo, Hi).
+type NodeRange struct {
+	Lo, Hi int32
+}
+
+// RangedSource is an optional Source refinement for sources whose
+// adjacency is stored in contiguous node ranges (the CSR spill's shard
+// files). The streaming evaluator scans sources one range at a time —
+// and skips ranges no plan can start in — so a range's shard files are
+// exhausted before the next range's load, keeping spill-backed scans
+// near-sequential on disk instead of at the mercy of cache evictions.
+type RangedSource interface {
+	Source
+	// NodeRanges returns the storage ranges in ascending order,
+	// covering [0, NumNodes) without gaps.
+	NodeRanges() []NodeRange
+}
+
+// DomainSource is an optional Source refinement for sources that know
+// each predicate's active domain — the nodes carrying at least one
+// edge of the predicate in a direction — without scanning adjacency.
+// SpillSource implements it from the manifest's persisted bitmaps
+// (format_version >= 2), so StarDomain and the streaming scan's
+// start-pruning cost zero shard loads; for legacy spills the bitmaps
+// are rebuilt lazily by a one-time shard sweep.
+type DomainSource interface {
+	Source
+	// ActiveDomain returns the set of nodes with at least one outgoing
+	// (inverse false) or incoming (inverse true) edge labeled p. The
+	// set is shared with the source and must not be modified.
+	ActiveDomain(p graph.PredID, inverse bool) (*bitset.Set, error)
+}

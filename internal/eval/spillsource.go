@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gmark/internal/bitset"
 	"gmark/internal/graph"
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
@@ -31,6 +32,18 @@ type SpillSource struct {
 	used    int64
 	stats   SpillCacheStats
 	loadErr error // sticky: first shard-load failure
+
+	// domMu guards the active-domain bitmap cache separately from the
+	// shard cache, so a legacy-spill rebuild (shard file reads) never
+	// blocks concurrent Neighbors lookups.
+	domMu   sync.Mutex
+	domains map[domainKey]*bitset.Set
+}
+
+// domainKey addresses one cached active-domain bitmap.
+type domainKey struct {
+	pred graph.PredID
+	inv  bool
 }
 
 // shardKey addresses one cached shard.
@@ -53,11 +66,16 @@ type cachedShard struct {
 // many Neighbors lookups hit a resident shard, how many shard files
 // were loaded (including reloads after eviction), and the eviction
 // count. Loads == distinct shards touched when nothing was evicted.
+// DomainRebuilds counts shard files read to reconstruct an
+// active-domain bitmap missing from a legacy spill; it stays zero on
+// spills with persisted bitmaps, which is how tests assert that
+// StarDomain performs no full-shard sweep.
 type SpillCacheStats struct {
-	Hits      int64
-	Loads     int64
-	Evictions int64
-	BytesUsed int64
+	Hits           int64
+	Loads          int64
+	Evictions      int64
+	BytesUsed      int64
+	DomainRebuilds int64
 }
 
 // OpenSpillSource opens a CSR spill directory as an evaluation Source.
@@ -83,6 +101,7 @@ func NewSpillSource(spill *graphgen.CSRSpill, cacheBytes int64) *SpillSource {
 		cache:     make(map[shardKey]*list.Element),
 		order:     list.New(),
 		budget:    cacheBytes,
+		domains:   make(map[domainKey]*bitset.Set),
 	}
 	for i, p := range spill.Manifest.Predicates {
 		s.predIndex[p.Name] = graph.PredID(i)
@@ -98,6 +117,96 @@ func (s *SpillSource) Manifest() graphgen.CSRManifest { return s.spill.Manifest 
 
 // NumEdges returns the spilled edge count.
 func (s *SpillSource) NumEdges() int { return s.spill.Manifest.Edges }
+
+// PredEdgeCount returns the number of edges labeled p, summed from the
+// manifest without touching any shard file.
+func (s *SpillSource) PredEdgeCount(p graph.PredID) int {
+	if int(p) < 0 || int(p) >= len(s.spill.Manifest.Predicates) {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.spill.Manifest.Predicates[p].Fwd {
+		n += sh.Edges
+	}
+	return n
+}
+
+// NodeRanges implements RangedSource: one range per shard-file node
+// span, so the streaming evaluator's scan order matches the on-disk
+// layout.
+func (s *SpillSource) NodeRanges() []NodeRange {
+	w := s.spill.Manifest.ShardNodes
+	n := s.spill.Manifest.Nodes
+	if w <= 0 || n <= 0 {
+		return nil
+	}
+	ranges := make([]NodeRange, 0, (n+w-1)/w)
+	for lo := 0; lo < n; lo += w {
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, NodeRange{Lo: int32(lo), Hi: int32(hi)})
+	}
+	return ranges
+}
+
+// ActiveDomain implements DomainSource: the bitmap comes from the
+// spill's persisted domain file when the manifest names one
+// (format_version >= 2), and is otherwise rebuilt — legacy spill, or
+// a bitmap file that fails to read — from each of the predicate's
+// shard files once, counted in SpillCacheStats.DomainRebuilds and
+// bypassing the shard cache, since only the degree spans are needed
+// and the adjacency bytes are discarded immediately. Either way the
+// result is cached for the source's lifetime (bitmaps are n/8 bytes,
+// far below any shard budget). Rebuild failures — real shard
+// corruption — are sticky like shard-load failures.
+func (s *SpillSource) ActiveDomain(p graph.PredID, inverse bool) (*bitset.Set, error) {
+	key := domainKey{pred: p, inv: inverse}
+	s.domMu.Lock()
+	defer s.domMu.Unlock()
+	if dom, ok := s.domains[key]; ok {
+		return dom, nil
+	}
+	dom, ok, err := s.spill.LoadDomain(int(p), inverse)
+	if err != nil || !ok {
+		// A missing (legacy spill) or unreadable bitmap file degrades
+		// to the shard sweep, which reconstructs the same set from the
+		// adjacency itself — visible as DomainRebuilds. Only a failure
+		// of the sweep (real shard corruption) is fatal and sticky.
+		dom, err = s.rebuildDomain(p, inverse)
+		if err != nil {
+			s.fail(err)
+			return nil, err
+		}
+	}
+	s.domains[key] = dom
+	return dom, nil
+}
+
+// rebuildDomain sweeps one (predicate, direction)'s shard files to
+// reconstruct the active-domain bitmap of a legacy spill.
+func (s *SpillSource) rebuildDomain(p graph.PredID, inverse bool) (*bitset.Set, error) {
+	if int(p) < 0 || int(p) >= len(s.spill.Manifest.Predicates) {
+		return nil, fmt.Errorf("eval: spill has no predicate %d", p)
+	}
+	shards := s.spill.Manifest.Predicates[p].Fwd
+	if inverse {
+		shards = s.spill.Manifest.Predicates[p].Bwd
+	}
+	dom := bitset.New(s.NumNodes())
+	for _, meta := range shards {
+		off, _, err := s.spill.LoadShard(meta)
+		if err != nil {
+			return nil, err
+		}
+		graphgen.DomainFromOffsets(dom, meta.Lo, off)
+		s.mu.Lock()
+		s.stats.DomainRebuilds++
+		s.mu.Unlock()
+	}
+	return dom, nil
+}
 
 // PredIndex implements Source.
 func (s *SpillSource) PredIndex(name string) graph.PredID {

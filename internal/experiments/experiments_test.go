@@ -416,3 +416,27 @@ func TestGenShardScalabilitySmoke(t *testing.T) {
 		t.Error("render output incomplete")
 	}
 }
+
+func TestSpillEnginesSmoke(t *testing.T) {
+	rows, err := SpillEngines(Options{Sizes: []int{400}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 engines x 3 queries, none failing at this scale.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failed {
+			t.Errorf("engine %s on %s failed at smoke scale: %s", r.Engine, r.Query, r.Err)
+		}
+		if r.Loads == 0 {
+			t.Errorf("engine %s on %s loaded no shards", r.Engine, r.Query)
+		}
+	}
+	var buf strings.Builder
+	RenderSpillEngines(&buf, rows)
+	if !strings.Contains(buf.String(), "authors-.authors") {
+		t.Error("render missing query column")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"gmark/internal/bitset"
 	"gmark/internal/graph"
 	"gmark/internal/schema"
 )
@@ -26,9 +27,27 @@ import (
 // layout and every shard file. An out-of-core evaluator can answer
 // Out(v)/In(v) by touching only the one shard file whose node range
 // contains v.
+//
+// Since format_version 2 the manifest also names one active-domain
+// bitmap file per (predicate, direction) —
+//
+//	magic  "GMKDOM1\n"                    (8 bytes)
+//	words  uint32                         number of 64-bit words
+//	bits   words x uint64                 bit v set iff node v has an edge
+//
+// — so schema-level pruning (which nodes carry a predicate at all) is
+// answered without touching any shard file. docs/FORMATS.md specifies
+// both formats for external readers.
 const (
 	csrMagic        = "GMKCSR1\n"
+	domMagic        = "GMKDOM1\n"
 	csrManifestFile = "csr-index.json"
+
+	// csrFormatVersion is the manifest version this package writes.
+	// Version 1 (or the field absent) is the original layout without
+	// active-domain bitmaps; version 2 adds them. Readers accept every
+	// version up to this one and reject newer manifests.
+	csrFormatVersion = 2
 
 	// defaultCSRShardNodes is the node-range width of one spill shard
 	// when the sink is created with shardNodes = 0.
@@ -37,18 +56,25 @@ const (
 
 // CSRManifest is the JSON manifest of a CSR spill directory.
 type CSRManifest struct {
-	Nodes      int                 `json:"nodes"`
-	ShardNodes int                 `json:"shard_nodes"`
-	Edges      int                 `json:"edges"`
-	Types      []PartitionType     `json:"types"`
-	Predicates []CSRSpillPredicate `json:"predicates"`
+	FormatVersion int                 `json:"format_version,omitempty"`
+	Nodes         int                 `json:"nodes"`
+	ShardNodes    int                 `json:"shard_nodes"`
+	Edges         int                 `json:"edges"`
+	Types         []PartitionType     `json:"types"`
+	Predicates    []CSRSpillPredicate `json:"predicates"`
 }
 
-// CSRSpillPredicate lists one predicate's shard files per direction.
+// CSRSpillPredicate lists one predicate's shard files per direction,
+// plus (format_version >= 2) its active-domain bitmap files: FwdDomain
+// marks nodes with at least one outgoing edge of the predicate,
+// BwdDomain nodes with at least one incoming edge. Empty fields mean a
+// legacy spill; readers must fall back to scanning the shards.
 type CSRSpillPredicate struct {
-	Name string     `json:"name"`
-	Fwd  []CSRShard `json:"fwd"`
-	Bwd  []CSRShard `json:"bwd"`
+	Name      string     `json:"name"`
+	Fwd       []CSRShard `json:"fwd"`
+	Bwd       []CSRShard `json:"bwd"`
+	FwdDomain string     `json:"fwd_domain,omitempty"`
+	BwdDomain string     `json:"bwd_domain,omitempty"`
 }
 
 // CSRShard locates one (predicate, direction, node-range) file.
@@ -297,9 +323,10 @@ func (s *CSRSpillSink) Flush() error {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	m := CSRManifest{
-		Nodes:      s.numNodes,
-		ShardNodes: s.shardNodes,
-		Edges:      s.edges,
+		FormatVersion: csrFormatVersion,
+		Nodes:         s.numNodes,
+		ShardNodes:    s.shardNodes,
+		Edges:         s.edges,
 	}
 	for i, name := range s.typeNames {
 		m.Types = append(m.Types, PartitionType{Name: name, Count: s.typeCounts[i]})
@@ -307,11 +334,11 @@ func (s *CSRSpillSink) Flush() error {
 	for p, name := range s.predNames {
 		entry := CSRSpillPredicate{Name: name}
 		var err error
-		entry.Fwd, err = s.flushDirection(p, false, workers)
+		entry.Fwd, entry.FwdDomain, err = s.flushDirection(p, false, workers)
 		if err != nil {
 			return err
 		}
-		entry.Bwd, err = s.flushDirection(p, true, workers)
+		entry.Bwd, entry.BwdDomain, err = s.flushDirection(p, true, workers)
 		if err != nil {
 			return err
 		}
@@ -323,12 +350,15 @@ func (s *CSRSpillSink) Flush() error {
 	return writeJSONFile(filepath.Join(s.dir, csrManifestFile), &m)
 }
 
-// flushDirection merges one direction's ranges into shard files.
-func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRShard, error) {
+// flushDirection merges one direction's ranges into shard files and
+// writes the direction's active-domain bitmap, accumulated from the
+// per-range offsets as each range is built (no extra pass).
+func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRShard, string, error) {
 	tag := "f"
 	if backward {
 		tag = "b"
 	}
+	dom := bitset.New(s.numNodes)
 	var shards []CSRShard
 	for r := 0; r < s.nRanges; r++ {
 		lo := r * s.shardNodes
@@ -345,7 +375,7 @@ func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRS
 			// shard bytes order-independent anyway.
 			from, to, err = readRunPairs(s.runPath(p, backward, r))
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			from = append(from, b.from...)
 			to = append(to, b.to...)
@@ -356,14 +386,79 @@ func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRS
 			from[i] -= int32(lo)
 		}
 		off, adj := graph.BuildAdjacency(hi-lo, from, to, workers)
+		DomainFromOffsets(dom, lo, off)
 		b.from, b.to = nil, nil // release before the next range
 		sh, err := writeShardFile(s.dir, tag, p, r, lo, hi, off, adj)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		shards = append(shards, sh)
 	}
-	return shards, nil
+	domFile, err := writeDomainFile(s.dir, tag, p, dom)
+	if err != nil {
+		return nil, "", err
+	}
+	return shards, domFile, nil
+}
+
+// DomainFromOffsets marks, in dom, every node of the range starting at
+// lo whose offset span is non-empty (the node has at least one edge in
+// the direction off describes). It is the single definition of the
+// active-domain predicate, shared by the spill writers here and by the
+// evaluator's legacy-spill rebuild, so the bitmap semantics cannot
+// drift between writer and reader.
+func DomainFromOffsets(dom *bitset.Set, lo int, off []int32) {
+	for i := 0; i+1 < len(off); i++ {
+		if off[i+1] > off[i] {
+			dom.Add(int32(lo + i))
+		}
+	}
+}
+
+// domainFileName names the active-domain bitmap file of (predicate,
+// direction).
+func domainFileName(tag string, p int) string {
+	return fmt.Sprintf("dom-%s-%03d.bin", tag, p)
+}
+
+// writeDomainFile writes one direction's active-domain bitmap and
+// returns its manifest-relative filename.
+func writeDomainFile(dir, tag string, p int, dom *bitset.Set) (string, error) {
+	name := domainFileName(tag, p)
+	words := dom.Words()
+	buf := make([]byte, len(domMagic)+4+8*len(words))
+	copy(buf, domMagic)
+	binary.LittleEndian.PutUint32(buf[len(domMagic):], uint32(len(words)))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[len(domMagic)+4+8*i:], w)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// readDomainFile loads an active-domain bitmap file back as a set of
+// capacity nodes.
+func readDomainFile(path string, nodes int) (*bitset.Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(domMagic)+4 || string(data[:len(domMagic)]) != domMagic {
+		return nil, fmt.Errorf("graphgen: %s: not an active-domain bitmap file", path)
+	}
+	body := data[len(domMagic):]
+	words := int(binary.LittleEndian.Uint32(body[0:4]))
+	body = body[4:]
+	if len(body) != 8*words {
+		return nil, fmt.Errorf("graphgen: %s: truncated bitmap (%d bytes, want %d)", path, len(body), 8*words)
+	}
+	w := make([]uint64, words)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(body[8*i:])
+	}
+	return bitset.FromWords(nodes, w), nil
 }
 
 // Edges returns the number of edges consumed so far.
@@ -385,25 +480,33 @@ func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
 		shardNodes = defaultCSRShardNodes
 	}
 	m := CSRManifest{
-		Nodes:      g.NumNodes(),
-		ShardNodes: shardNodes,
-		Edges:      g.NumEdges(),
+		FormatVersion: csrFormatVersion,
+		Nodes:         g.NumNodes(),
+		ShardNodes:    shardNodes,
+		Edges:         g.NumEdges(),
 	}
 	for t := 0; t < g.NumTypes(); t++ {
 		m.Types = append(m.Types, PartitionType{Name: g.TypeName(t), Count: g.TypeCount(t)})
 	}
 	for p := 0; p < g.NumPredicates(); p++ {
 		entry := CSRSpillPredicate{Name: g.PredName(int32(p))}
-		off, adj := g.Adjacency(int32(p), false)
-		var err error
-		entry.Fwd, err = writeCSRDirection(dir, shardNodes, g.NumNodes(), p, "f", off, adj)
-		if err != nil {
-			return err
-		}
-		off, adj = g.Adjacency(int32(p), true)
-		entry.Bwd, err = writeCSRDirection(dir, shardNodes, g.NumNodes(), p, "b", off, adj)
-		if err != nil {
-			return err
+		for _, tag := range []string{"f", "b"} {
+			off, adj := g.Adjacency(int32(p), tag == "b")
+			shards, err := writeCSRDirection(dir, shardNodes, g.NumNodes(), p, tag, off, adj)
+			if err != nil {
+				return err
+			}
+			dom := bitset.New(g.NumNodes())
+			DomainFromOffsets(dom, 0, off)
+			domFile, err := writeDomainFile(dir, tag, p, dom)
+			if err != nil {
+				return err
+			}
+			if tag == "f" {
+				entry.Fwd, entry.FwdDomain = shards, domFile
+			} else {
+				entry.Bwd, entry.BwdDomain = shards, domFile
+			}
 		}
 		m.Predicates = append(m.Predicates, entry)
 	}
@@ -509,7 +612,12 @@ type CSRSpill struct {
 	Manifest CSRManifest
 }
 
-// OpenCSRSpill reads the manifest of a CSR spill directory.
+// OpenCSRSpill reads the manifest of a CSR spill directory. Legacy
+// manifests (format_version absent or 1, written before active-domain
+// bitmaps existed) open normally — readers needing a domain see the
+// absence through LoadDomain and rebuild it from the shards. Manifests
+// newer than this package's writer are rejected rather than
+// misinterpreted.
 func OpenCSRSpill(dir string) (*CSRSpill, error) {
 	data, err := os.ReadFile(filepath.Join(dir, csrManifestFile))
 	if err != nil {
@@ -519,7 +627,34 @@ func OpenCSRSpill(dir string) (*CSRSpill, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("graphgen: csr manifest: %w", err)
 	}
+	if m.FormatVersion > csrFormatVersion {
+		return nil, fmt.Errorf("graphgen: csr manifest format_version %d is newer than this reader (max %d)",
+			m.FormatVersion, csrFormatVersion)
+	}
 	return &CSRSpill{dir: dir, Manifest: m}, nil
+}
+
+// LoadDomain reads one (predicate, direction) active-domain bitmap:
+// the set of nodes with at least one outgoing (inverse false) or
+// incoming (inverse true) edge of the predicate. ok is false when the
+// spill predates the bitmaps (legacy format_version) — the caller must
+// then derive the domain from the shards itself.
+func (c *CSRSpill) LoadDomain(pred int, inverse bool) (dom *bitset.Set, ok bool, err error) {
+	if pred < 0 || pred >= len(c.Manifest.Predicates) {
+		return nil, false, fmt.Errorf("graphgen: spill has no predicate %d", pred)
+	}
+	name := c.Manifest.Predicates[pred].FwdDomain
+	if inverse {
+		name = c.Manifest.Predicates[pred].BwdDomain
+	}
+	if name == "" {
+		return nil, false, nil
+	}
+	dom, err = readDomainFile(filepath.Join(c.dir, name), c.Manifest.Nodes)
+	if err != nil {
+		return nil, false, err
+	}
+	return dom, true, nil
 }
 
 // LoadShard reads one shard file back: off is shard-local (off[0] ==
