@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -603,6 +604,136 @@ func BenchmarkSpillEval(b *testing.B) {
 		}
 		st := src.CacheStats()
 		b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+	})
+}
+
+// BenchmarkParallelEval measures the range-sharded parallel evaluator
+// against the sequential scan, in memory and over a warm spill. Counts
+// are identical by construction (pinned by TestParallelCountMatches-
+// Sequential); this records the throughput difference. On a single-core
+// container expect ~1x. Recorded in BENCH_generate.json.
+func BenchmarkParallelEval(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	dir := b.TempDir()
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 1024); err != nil {
+		b.Fatal(err)
+	}
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("authors-.authors")}},
+	}}}
+	modes := []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}}
+	for _, m := range modes {
+		b.Run("in-memory/"+m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CountWith(g, q, eval.Budget{}, eval.EvalOptions{Workers: m.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range modes {
+		b.Run("spill-warm/"+m.name, func(b *testing.B) {
+			src, err := eval.OpenSpillSource(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eval.CountOverSpill(src, q, eval.Budget{}); err != nil {
+				b.Fatal(err) // warm the cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CountOverSpillWith(src, q, eval.Budget{}, eval.EvalOptions{Workers: m.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalFleet reproduces the N-concurrent-evaluations scenario
+// the shared cache exists for: four goroutines counting four distinct
+// queries with overlapping working sets over one spill. The private
+// mode gives each evaluator its own LRU with a quarter of the total
+// byte budget (the pre-shared-cache architecture), so each starves and
+// pays the reload cliff; the shared mode pools the same total budget in
+// one cache. The loads/op metric is the cliff: private reloads shards
+// every iteration, shared loads each shard once across the whole run.
+// Recorded in BENCH_generate.json.
+func BenchmarkEvalFleet(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	dir := b.TempDir()
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 1024); err != nil {
+		b.Fatal(err)
+	}
+	spill, err := graphgen.OpenCSRSpill(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exprs := []string{"authors", "authors-", "authors-.authors", "authors.authors-"}
+	queries := make([]*query.Query, len(exprs))
+	for i, e := range exprs {
+		queries[i] = &query.Query{Rules: []query.Rule{{
+			Head: []query.Var{0, 1},
+			Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse(e)}},
+		}}}
+	}
+	// Calibrate the fleet's union working set, then size the total
+	// budget just above it: the shared cache fits, a quarter of it
+	// (one private LRU) does not.
+	calib := eval.NewSpillSource(spill, 0)
+	for _, q := range queries {
+		if _, err := eval.CountOverSpill(calib, q, eval.Budget{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	budget := calib.CacheStats().PeakBytes
+	budget += budget / 8
+
+	fleet := func(b *testing.B, sources []*eval.SpillSource) {
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for k := range queries {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					if _, err := eval.CountOverSpill(sources[k], queries[k], eval.Budget{}); err != nil {
+						b.Error(err)
+					}
+				}(k)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("private-lru", func(b *testing.B) {
+		sources := make([]*eval.SpillSource, len(queries))
+		for k := range sources {
+			sources[k] = eval.NewSpillSource(spill, budget/int64(len(queries)))
+		}
+		b.ResetTimer()
+		fleet(b, sources)
+		var loads int64
+		for _, s := range sources {
+			loads += s.CacheStats().Loads
+		}
+		b.ReportMetric(float64(loads)/float64(b.N), "loads/op")
+	})
+	b.Run("shared-cache", func(b *testing.B) {
+		shared := eval.NewSpillSource(spill, budget)
+		sources := make([]*eval.SpillSource, len(queries))
+		for k := range sources {
+			sources[k] = shared
+		}
+		b.ResetTimer()
+		fleet(b, sources)
+		st := shared.CacheStats()
+		b.ReportMetric(float64(st.Loads)/float64(b.N), "loads/op")
+		b.ReportMetric(float64(st.DedupHits)/float64(b.N), "dedup/op")
 	})
 }
 

@@ -8,7 +8,8 @@
 //	gmark-bench -exp all -full         # everything at paper scale
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
-// qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, all.
+// qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines,
+// par-eval, all.
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 	log.SetPrefix("gmark-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, par-eval, all)")
 		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
@@ -38,6 +39,7 @@ func main() {
 		maxPairs = flag.Int64("max-pairs", 50_000_000, "per-query materialization budget")
 		runs     = flag.Int("runs", 1, "engine runs per measurement; >= 3 enables the paper's cold+warm protocol (Section 7.1)")
 		par      = flag.Int("parallelism", 0, "graph-generation workers (0 = all cores)")
+		evalWork = flag.Int("eval-workers", 0, "evaluation workers for par-eval (0 = all cores)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -49,6 +51,7 @@ func main() {
 		Budget:          eval.Budget{MaxPairs: *maxPairs, Timeout: *budget},
 		Runs:            *runs,
 		Parallelism:     *par,
+		EvalWorkers:     *evalWork,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
@@ -65,7 +68,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "par-eval", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -151,6 +154,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderSpillEval(os.Stdout, rows)
+	case "par-eval":
+		rows, err := experiments.ParEval(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderParEval(os.Stdout, rows)
 	case "spill-engines":
 		rows, err := experiments.SpillEngines(opt)
 		if err != nil {

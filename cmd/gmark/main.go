@@ -70,11 +70,12 @@ func main() {
 		evalQuery   = flag.String("eval-query", "", "regular path expression to count over the spill, e.g. \"authors-.authors\"")
 		evalCacheMB = flag.Int("eval-cache-mb", 0, "shard-cache budget in MiB for -eval-spill (0 = default 256 MiB)")
 		evalEngine  = flag.String("eval-engine", "", "evaluate -eval-query with a simulated engine instead of the reference evaluator: P, G, S, D, or \"all\" to compare every engine")
+		evalWorkers = flag.Int("eval-workers", 0, "evaluation workers for -eval-spill (0 = all cores, 1 = sequential; counts are identical for any value)")
 	)
 	flag.Parse()
 
 	if *evalSpill != "" {
-		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB, *evalEngine); err != nil {
+		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB, *evalEngine, *evalWorkers); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -346,7 +347,7 @@ var errMissingEvalQuery = errors.New("-eval-spill requires -eval-query (a regula
 // regular path expression over it — with the reference evaluator or a
 // selected simulated engine — and reports the shard-cache behavior,
 // without ever materializing the instance.
-func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
+func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) error {
 	if expr == "" {
 		return errMissingEvalQuery
 	}
@@ -367,7 +368,7 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
 
 	switch engine {
 	case "":
-		n, err := eval.CountOverSpill(src, q, eval.Budget{})
+		n, err := eval.CountOverSpillWith(src, q, eval.Budget{}, eval.EvalOptions{Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -376,7 +377,7 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
 		failed := 0
 		for _, eng := range engines.All() {
 			start := time.Now()
-			n, err := eng.Evaluate(src, q, eval.Budget{})
+			n, err := engines.EvaluateWith(eng, src, q, eval.Budget{}, workers)
 			if err == nil {
 				err = src.Err()
 			}
@@ -395,7 +396,7 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
 		if err != nil {
 			return err
 		}
-		n, err := eng.Evaluate(src, q, eval.Budget{})
+		n, err := engines.EvaluateWith(eng, src, q, eval.Budget{}, workers)
 		if err == nil {
 			err = src.Err()
 		}
@@ -405,8 +406,8 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string) error {
 		log.Printf("engine %s: count(%s) = %d", eng.Name(), expr, n)
 	}
 	st := src.CacheStats()
-	log.Printf("shard cache: %d loads, %d hits, %d evictions, %d domain-rebuild reads, %d bytes resident",
-		st.Loads, st.Hits, st.Evictions, st.DomainRebuilds, st.BytesUsed)
+	log.Printf("shard cache: %d loads, %d hits (%d deduped in flight), %d evictions, %d domain-rebuild reads, %d bytes resident (peak %d)",
+		st.Loads, st.Hits, st.DedupHits, st.Evictions, st.DomainRebuilds, st.BytesUsed, st.PeakBytes)
 	return nil
 }
 

@@ -327,6 +327,27 @@ type (
 	// GraphSpillCacheStats reports a spill source's shard-cache
 	// hit/load/eviction counters.
 	GraphSpillCacheStats = eval.SpillCacheStats
+	// GraphShardCache is a concurrency-safe, byte-budgeted,
+	// singleflight shard cache shareable across spill sources, so a
+	// fleet of concurrent evaluations holds one pooled residency.
+	GraphShardCache = eval.ShardCache
+	// EvalOptions tunes evaluation: Workers shards the scan
+	// (0 = GOMAXPROCS, 1 = sequential; results are identical either
+	// way), CacheBytes bounds spill shard residency.
+	EvalOptions = eval.EvalOptions
+	// WorkerEngine is a simulated engine whose evaluation can shard
+	// its top-level source scan (engines S and G).
+	WorkerEngine = engines.WorkerEngine
+)
+
+var (
+	// NewGraphShardCache builds a shard cache bounded by budgetBytes
+	// (<= 0 selects DefaultSpillCacheBytes).
+	NewGraphShardCache = eval.NewShardCache
+	// NewGraphSpillSourceWith opens an evaluation source over an
+	// already-opened CSR spill backed by a caller-supplied shared
+	// cache; several sources may share one cache.
+	NewGraphSpillSourceWith = eval.NewSpillSourceWith
 )
 
 // DefaultSpillCacheBytes is the shard-cache budget used when
@@ -342,6 +363,13 @@ func Count(g *Graph, q *Query, b Budget) (int64, error) {
 	return eval.Count(g, q, b)
 }
 
+// CountWith is Count with explicit evaluation options; with
+// EvalOptions.Workers != 1 the streaming scan is sharded by node range
+// and the count is pinned equal to the sequential one.
+func CountWith(g *Graph, q *Query, b Budget, opt EvalOptions) (int64, error) {
+	return eval.CountWith(g, q, b, opt)
+}
+
 // OpenGraphSpill opens a CSR spill directory (written by
 // GraphCSRSpillSink or WriteGraphCSRSpill) for out-of-core query
 // evaluation. cacheBytes bounds the resident shard bytes; <= 0 selects
@@ -355,6 +383,13 @@ func OpenGraphSpill(dir string, cacheBytes int64) (*GraphSpillSource, error) {
 // reaches.
 func CountOverSpill(s *GraphSpillSource, q *Query, b Budget) (int64, error) {
 	return eval.CountOverSpill(s, q, b)
+}
+
+// CountOverSpillWith is CountOverSpill with explicit evaluation
+// options; parallel workers share the spill's shard cache, so the
+// residency budget holds across the whole evaluation.
+func CountOverSpillWith(s *GraphSpillSource, q *Query, b Budget, opt EvalOptions) (int64, error) {
+	return eval.CountOverSpillWith(s, q, b, opt)
 }
 
 // Engines returns the four simulated systems (P, G, S, D) of the
@@ -386,12 +421,20 @@ type EngineComparison struct {
 // rewriting, so they are comparable across sources but not across
 // engines.
 func CompareEngines(src EvalSource, q *Query, b Budget) []EngineComparison {
+	return CompareEnginesWith(src, q, b, EvalOptions{Workers: 1})
+}
+
+// CompareEnginesWith is CompareEngines with explicit evaluation
+// options: engines that support range-sharded evaluation (S and G) run
+// with EvalOptions.Workers, the rest run sequentially, and every count
+// equals its sequential counterpart.
+func CompareEnginesWith(src EvalSource, q *Query, b Budget, opt EvalOptions) []EngineComparison {
 	sticky, _ := src.(interface{ Err() error })
 	all := engines.All()
 	out := make([]EngineComparison, 0, len(all))
 	for _, eng := range all {
 		start := time.Now()
-		n, err := eng.Evaluate(src, q, b)
+		n, err := engines.EvaluateWith(eng, src, q, b, opt.Workers)
 		if err == nil && sticky != nil {
 			err = sticky.Err()
 		}
@@ -409,6 +452,13 @@ func CompareEngines(src EvalSource, q *Query, b Budget) []EngineComparison {
 // kept as the spill-typed entry point mirroring CountOverSpill.
 func CompareEnginesOverSpill(s *GraphSpillSource, q *Query, b Budget) []EngineComparison {
 	return CompareEngines(s, q, b)
+}
+
+// CompareEnginesOverSpillWith is CompareEnginesOverSpill with explicit
+// evaluation options; concurrent workers of one engine share the
+// spill's shard cache.
+func CompareEnginesOverSpillWith(s *GraphSpillSource, q *Query, b Budget, opt EvalOptions) []EngineComparison {
+	return CompareEnginesWith(s, q, b, opt)
 }
 
 // Workload analysis.

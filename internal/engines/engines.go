@@ -37,6 +37,9 @@ package engines
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"gmark/internal/bitset"
 	"gmark/internal/eval"
@@ -54,6 +57,97 @@ type Engine interface {
 	// graph or CSR spill — and returns the number of distinct result
 	// tuples. Budget violations return eval.ErrBudget.
 	Evaluate(g eval.Source, q *query.Query, b eval.Budget) (int64, error)
+}
+
+// WorkerEngine is an Engine whose evaluation can shard its top-level
+// source scan across a worker pool over eval.SourceRanges, with the
+// same count as the sequential Evaluate. Engines S and G implement it;
+// P and D do not (their cost lives in whole-relation materialization
+// and fixpoints, not a per-source outer loop).
+type WorkerEngine interface {
+	Engine
+	// EvaluateWorkers is Evaluate with an explicit worker count,
+	// following the eval.EvalOptions convention: 0 means GOMAXPROCS,
+	// 1 or negative means sequential.
+	EvaluateWorkers(g eval.Source, q *query.Query, b eval.Budget, workers int) (int64, error)
+}
+
+// EvaluateWith runs the engine with the given worker count when it
+// supports range-sharded evaluation and falls back to the sequential
+// Evaluate otherwise, so callers can apply one worker setting across
+// the whole engine comparison.
+func EvaluateWith(eng Engine, g eval.Source, q *query.Query, b eval.Budget, workers int) (int64, error) {
+	if we, ok := eng.(WorkerEngine); ok {
+		return we.EvaluateWorkers(g, q, b, workers)
+	}
+	return eng.Evaluate(g, q, b)
+}
+
+// resolveWorkers applies the eval.EvalOptions.Workers convention.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// runRanges executes one rule's top-level source scan: sequentially
+// over the full node space when workers <= 1, otherwise sharded over
+// eval.SourceRanges by a bounded pool, each worker collecting into a
+// private tupleSet that merges into out afterwards. scan must treat
+// [rg.Lo, rg.Hi) as the candidate sources of the rule's first conjunct
+// only; a raised stop flag means another worker failed and remaining
+// work is discarded.
+func runRanges(g eval.Source, workers, arity int, out *tupleSet, scan func(rg eval.NodeRange, local *tupleSet, stop *atomic.Bool) error) error {
+	full := eval.NodeRange{Lo: 0, Hi: int32(g.NumNodes())}
+	if workers <= 1 {
+		var stop atomic.Bool
+		return scan(full, out, &stop)
+	}
+	ranges := eval.SourceRanges(g, workers)
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	if workers <= 1 {
+		var stop atomic.Bool
+		return scan(full, out, &stop)
+	}
+	locals := make([]*tupleSet, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = newTupleSet(arity)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) || stop.Load() {
+					return
+				}
+				if err := scan(ranges[i], locals[w], &stop); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, l := range locals {
+		out.merge(l)
+	}
+	return nil
 }
 
 // predEdgeCounter is implemented by sources that know per-predicate
@@ -189,6 +283,19 @@ func (ts *tupleSet) add(t []int32) {
 		b[4*i+3] = byte(v >> 24)
 	}
 	ts.m[string(b)] = struct{}{}
+}
+
+// merge unions another tuple set of the same arity into ts; used to
+// combine per-worker results of a range-sharded evaluation (the merge
+// order is irrelevant because tuple sets are sets).
+func (ts *tupleSet) merge(o *tupleSet) {
+	ts.some = ts.some || o.some
+	for k := range o.pairs {
+		ts.pairs[k] = struct{}{}
+	}
+	for k := range o.m {
+		ts.m[k] = struct{}{}
+	}
 }
 
 func (ts *tupleSet) count() int64 {

@@ -2,6 +2,7 @@ package engines
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gmark/internal/bitset"
@@ -51,11 +52,14 @@ func (*GraphDB) RewritesRecursion(q *query.Query) bool {
 	return false
 }
 
+// gdbBudget meters G's traversal steps. The counters are atomic so one
+// budget is shared by every range worker of a parallel evaluation and
+// MaxPairs/Timeout remain hard global limits.
 type gdbBudget struct {
-	steps    int64
+	steps    atomic.Int64
+	calls    atomic.Int64
 	maxSteps int64
 	deadline time.Time
-	counter  int
 }
 
 func newGdbBudget(b eval.Budget) *gdbBudget {
@@ -67,12 +71,10 @@ func newGdbBudget(b eval.Budget) *gdbBudget {
 }
 
 func (b *gdbBudget) charge(n int64) error {
-	b.steps += n
-	if b.maxSteps > 0 && b.steps > b.maxSteps {
+	if steps := b.steps.Add(n); b.maxSteps > 0 && steps > b.maxSteps {
 		return fmt.Errorf("%w: more than %d traversal steps", eval.ErrBudget, b.maxSteps)
 	}
-	b.counter++
-	if b.counter&1023 == 0 && !b.deadline.IsZero() && time.Now().After(b.deadline) {
+	if b.calls.Add(1)&1023 == 0 && !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		return fmt.Errorf("%w: timeout", eval.ErrBudget)
 	}
 	return nil
@@ -80,21 +82,39 @@ func (b *gdbBudget) charge(n int64) error {
 
 // Evaluate implements Engine.
 func (e *GraphDB) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
+	return e.EvaluateWorkers(g, q, budget, 1)
+}
+
+// EvaluateWorkers implements WorkerEngine: the unbound start-node scan
+// of each rule's first conjunct is sharded over eval.SourceRanges and
+// the per-worker tuple sets merge, so the count equals the sequential
+// one (traverseStar allocates its visited set per call, so concurrent
+// traversals never share mutable state).
+func (e *GraphDB) EvaluateWorkers(g eval.Source, q *query.Query, budget eval.Budget, workers int) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
 	}
 	bt := newGdbBudget(budget)
 	out := newTupleSet(c.arity)
+	w := resolveWorkers(workers)
 	for ri := range c.rules {
-		if err := e.evalRule(g, &c.rules[ri], bt, out); err != nil {
+		r := &c.rules[ri]
+		err := runRanges(g, w, c.arity, out, func(rg eval.NodeRange, local *tupleSet, stop *atomic.Bool) error {
+			return e.evalRuleRange(g, r, bt, local, rg, stop)
+		})
+		if err != nil {
 			return 0, err
 		}
 	}
 	return out.count(), nil
 }
 
-func (e *GraphDB) evalRule(g eval.Source, r *compiledRule, bt *gdbBudget, out *tupleSet) error {
+// evalRuleRange evaluates one rule with the start nodes of the first
+// planned conjunct restricted to [rg.Lo, rg.Hi); unbound scans at
+// deeper steps (disconnected rule bodies) still cover every node, so
+// the union over ranges reproduces the unrestricted evaluation.
+func (e *GraphDB) evalRuleRange(g eval.Source, r *compiledRule, bt *gdbBudget, out *tupleSet, rg eval.NodeRange, stop *atomic.Bool) error {
 	binding := make(map[query.Var]int32)
 	tuple := make([]int32, len(r.head))
 	emit := func() {
@@ -152,7 +172,16 @@ func (e *GraphDB) evalRule(g eval.Source, r *compiledRule, bt *gdbBudget, out *t
 		case dstBound:
 			return traverse(dst, false, cj.src, false, 0)
 		default:
-			for v := int32(0); v < int32(g.NumNodes()); v++ {
+			// Only the rule's first scan is range-restricted; a deeper
+			// unbound scan (disconnected body) must stay global.
+			lo, hi := int32(0), int32(g.NumNodes())
+			if step == 0 {
+				lo, hi = rg.Lo, rg.Hi
+			}
+			for v := lo; v < hi; v++ {
+				if step == 0 && stop.Load() {
+					return nil
+				}
 				if err := bt.charge(1); err != nil {
 					return err
 				}

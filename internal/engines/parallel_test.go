@@ -1,0 +1,108 @@
+package engines
+
+import (
+	"math/rand"
+	"testing"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/usecases"
+)
+
+// TestWorkerEnginesMatchSequential pins the engine half of the
+// parallel-evaluation invariant: EvaluateWorkers at any worker count
+// returns exactly Evaluate's count, for engines S and G, over random
+// in-memory graphs and over a spill, across the spill query battery.
+func TestWorkerEnginesMatchSequential(t *testing.T) {
+	workerEngines := []WorkerEngine{NewTripleStore(), NewGraphDB()}
+
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 200, 3, 600)
+	queries := []*query.Query{
+		chainQuery(false, "a"),
+		chainQuery(false, "a", "b-"),
+		chainQuery(false, "(a+b-)", "c"),
+		chainQuery(true, "a"),
+	}
+	for _, eng := range workerEngines {
+		for qi, q := range queries {
+			want, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("%s q%d sequential: %v", eng.Name(), qi, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := eng.EvaluateWorkers(g, q, eval.Budget{}, workers)
+				if err != nil {
+					t.Errorf("%s q%d workers=%d: %v", eng.Name(), qi, workers, err)
+				} else if got != want {
+					t.Errorf("%s q%d workers=%d: parallel=%d sequential=%d", eng.Name(), qi, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerEnginesOverSpill: the same pin over a spill-backed source,
+// so parallel engine workers exercise the shared shard cache under
+// -race, including the tiny-budget eviction path.
+func TestWorkerEnginesOverSpill(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 16); err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]string, 0, 2)
+	for _, p := range cfg.Schema.Predicates {
+		preds = append(preds, p.Name)
+	}
+	for _, eng := range []WorkerEngine{NewTripleStore(), NewGraphDB()} {
+		for qi, q := range engineSpillQueries(preds) {
+			want, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("%s q%d in-memory: %v", eng.Name(), qi, err)
+			}
+			src := eval.NewSpillSource(mustOpen(t, dir), 1<<13)
+			got, err := eng.EvaluateWorkers(src, q, eval.Budget{}, 4)
+			if err == nil {
+				err = src.Err()
+			}
+			if err != nil {
+				t.Errorf("%s q%d spill workers=4: %v", eng.Name(), qi, err)
+			} else if got != want {
+				t.Errorf("%s q%d spill workers=4: parallel=%d in-memory=%d", eng.Name(), qi, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluateWithFallback: EvaluateWith applies the worker count to
+// WorkerEngines and silently falls back to sequential Evaluate for the
+// others, with identical counts everywhere.
+func TestEvaluateWithFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 120, 2, 300)
+	q := chainQuery(false, "a", "b-")
+	for _, eng := range All() {
+		want, err := eng.Evaluate(g, q, eval.Budget{})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", eng.Name(), err)
+		}
+		got, err := EvaluateWith(eng, g, q, eval.Budget{}, 4)
+		if err != nil {
+			t.Errorf("%s EvaluateWith: %v", eng.Name(), err)
+		} else if got != want {
+			t.Errorf("%s EvaluateWith: %d != %d", eng.Name(), got, want)
+		}
+		if _, ok := eng.(WorkerEngine); ok != (eng.Name() == "S" || eng.Name() == "G") {
+			t.Errorf("%s: unexpected WorkerEngine support = %v", eng.Name(), ok)
+		}
+	}
+}

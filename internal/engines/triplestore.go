@@ -2,6 +2,7 @@ package engines
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gmark/internal/eval"
@@ -29,11 +30,14 @@ func (*TripleStore) Describe() string {
 	return "triple store: index nested-loop joins, per-binding property paths"
 }
 
+// tsBudget meters S's binding work. The counters are atomic so one
+// budget is shared by every range worker of a parallel evaluation and
+// MaxPairs/Timeout remain hard global limits.
 type tsBudget struct {
-	work     int64
+	work     atomic.Int64
+	calls    atomic.Int64
 	maxWork  int64
 	deadline time.Time
-	counter  int
 }
 
 func newTsBudget(b eval.Budget) *tsBudget {
@@ -45,12 +49,10 @@ func newTsBudget(b eval.Budget) *tsBudget {
 }
 
 func (b *tsBudget) charge(n int64) error {
-	b.work += n
-	if b.maxWork > 0 && b.work > b.maxWork {
+	if work := b.work.Add(n); b.maxWork > 0 && work > b.maxWork {
 		return fmt.Errorf("%w: more than %d bindings", eval.ErrBudget, b.maxWork)
 	}
-	b.counter++
-	if b.counter&1023 == 0 {
+	if b.calls.Add(1)&1023 == 0 {
 		return b.checkTime()
 	}
 	return nil
@@ -65,34 +67,61 @@ func (b *tsBudget) checkTime() error {
 
 // Evaluate implements Engine.
 func (e *TripleStore) Evaluate(g eval.Source, q *query.Query, budget eval.Budget) (int64, error) {
+	return e.EvaluateWorkers(g, q, budget, 1)
+}
+
+// EvaluateWorkers implements WorkerEngine: the unbound subject scan of
+// each rule's first conjunct is sharded over eval.SourceRanges and the
+// per-worker tuple sets merge, so the count equals the sequential one.
+// Starred closures are materialized once per rule, before the workers
+// start, and shared read-only.
+func (e *TripleStore) EvaluateWorkers(g eval.Source, q *query.Query, budget eval.Budget, workers int) (int64, error) {
 	c, err := compile(g, q)
 	if err != nil {
 		return 0, err
 	}
 	bt := newTsBudget(budget)
 	out := newTupleSet(c.arity)
+	w := resolveWorkers(workers)
 	for ri := range c.rules {
-		if err := e.evalRule(g, &c.rules[ri], bt, out); err != nil {
+		r := &c.rules[ri]
+		closures, err := e.ruleClosures(g, r, bt)
+		if err != nil {
+			return 0, err
+		}
+		err = runRanges(g, w, c.arity, out, func(rg eval.NodeRange, local *tupleSet, stop *atomic.Bool) error {
+			return e.evalRuleRange(g, r, closures, bt, local, rg, stop)
+		})
+		if err != nil {
 			return 0, err
 		}
 	}
 	return out.count(), nil
 }
 
-func (e *TripleStore) evalRule(g eval.Source, r *compiledRule, bt *tsBudget, out *tupleSet) error {
-	// Precompute closures of starred conjuncts (naive materialization:
-	// the architectural weakness of S on recursion).
+// ruleClosures precomputes closures of starred conjuncts (naive
+// materialization: the architectural weakness of S on recursion). The
+// returned maps are read-only afterwards and safe to share across
+// range workers.
+func (e *TripleStore) ruleClosures(g eval.Source, r *compiledRule, bt *tsBudget) ([]map[int32][]int32, error) {
 	closures := make([]map[int32][]int32, len(r.body))
 	for i := range r.body {
 		if r.body[i].star {
 			cl, err := e.naiveClosure(g, &r.body[i], bt)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			closures[i] = cl
 		}
 	}
+	return closures, nil
+}
 
+// evalRuleRange evaluates one rule with the subjects of the first
+// planned conjunct restricted to [rg.Lo, rg.Hi); unbound scans at
+// deeper steps (disconnected rule bodies) still cover every node, so
+// the union over ranges reproduces the unrestricted evaluation.
+func (e *TripleStore) evalRuleRange(g eval.Source, r *compiledRule, closures []map[int32][]int32, bt *tsBudget, out *tupleSet, rg eval.NodeRange, stop *atomic.Bool) error {
 	binding := make(map[query.Var]int32)
 	tuple := make([]int32, len(r.head))
 	emit := func() {
@@ -168,8 +197,17 @@ func (e *TripleStore) evalRule(g eval.Source, r *compiledRule, bt *tsBudget, out
 			return expand(dst, false)
 		default:
 			// No binding yet: scan all subjects (a triple store has no
-			// schema-level pruning, so every node is a candidate).
-			for v := int32(0); v < int32(g.NumNodes()); v++ {
+			// schema-level pruning, so every node is a candidate). Only
+			// the rule's first scan is range-restricted; a deeper
+			// unbound scan must stay global.
+			lo, hi := int32(0), int32(g.NumNodes())
+			if step == 0 {
+				lo, hi = rg.Lo, rg.Hi
+			}
+			for v := lo; v < hi; v++ {
+				if step == 0 && stop.Load() {
+					return nil
+				}
 				if err := bt.charge(1); err != nil {
 					return err
 				}

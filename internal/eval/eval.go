@@ -2,11 +2,48 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gmark/internal/bitset"
 	"gmark/internal/query"
 )
+
+// EvalOptions tunes how an evaluation executes; the zero value selects
+// the defaults. It changes only the schedule and the memory footprint,
+// never the result: parallel counts are pinned equal to sequential
+// ones.
+type EvalOptions struct {
+	// Workers is the number of goroutines the streaming evaluator
+	// shards its range-ordered scan across (0 = GOMAXPROCS, 1 =
+	// sequential, matching the generators' Parallelism convention).
+	// Queries that fall back to the join evaluator run sequentially
+	// regardless. Workers > 1 requires a concurrency-safe Source —
+	// the frozen *graph.Graph and SpillSource both are. With Workers >
+	// 1 the MaxPairs budget is charged conservatively: unary unions
+	// deduplicate per worker, so duplicate endpoints found by two
+	// workers may charge twice; the budget is still a hard bound and
+	// never undercharges relative to the result size.
+	Workers int
+	// CacheBytes bounds the resident shard bytes of spill sources the
+	// caller opens for this evaluation (<= 0 selects
+	// DefaultSpillCacheBytes). Count itself never opens a spill; the
+	// facade's spill helpers consume this field.
+	CacheBytes int64
+}
+
+// workerCount resolves the Workers convention against the machine.
+func (o EvalOptions) workerCount() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
 
 // Count evaluates the query under set semantics and returns the number
 // of distinct head tuples, |Q(G)| (the selectivity of Q on G, paper
@@ -14,12 +51,20 @@ import (
 // evaluated by a streaming per-source algorithm; everything else goes
 // through the join evaluator.
 func Count(g Source, q *query.Query, b Budget) (int64, error) {
+	return CountWith(g, q, b, EvalOptions{Workers: 1})
+}
+
+// CountWith is Count with explicit evaluation options: Workers shards
+// the streaming scan into per-node-range work units evaluated by a
+// bounded worker pool, merging per-range accumulators so the parallel
+// count equals the sequential one exactly.
+func CountWith(g Source, q *query.Query, b Budget, opt EvalOptions) (int64, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
 	tr := newTracker(b)
 	if plans, ok := planStreaming(g, q); ok {
-		return countStreaming(g, q, plans, tr)
+		return countStreaming(g, q, plans, tr, opt.workerCount())
 	}
 	return countJoin(g, q, tr)
 }
@@ -134,6 +179,27 @@ func chainEndpoints(r query.Rule) (start, end query.Var, ok bool) {
 	return start, end, true
 }
 
+// scanState holds one worker's scratch bitsets and partial results for
+// the streaming scan. Pair counts sum across states (every source is
+// scanned by exactly one worker), unary endpoints merge by bitset
+// union, and a Boolean witness in any state decides the query.
+type scanState struct {
+	cur, nxt  *bitset.Set
+	sa, sb    *bitset.Set
+	acc       *bitset.Set // per-source union across rules (pair heads)
+	nodeUnion *bitset.Set // union of projected endpoints (unary heads)
+	total     int64
+	witness   bool
+}
+
+func newScanState(n int) *scanState {
+	return &scanState{
+		cur: bitset.New(n), nxt: bitset.New(n),
+		sa: bitset.New(n), sb: bitset.New(n),
+		acc: bitset.New(n), nodeUnion: bitset.New(n),
+	}
+}
+
 // countStreaming evaluates all plans source by source, unioning the
 // per-source result sets across rules before counting, which yields
 // distinct counts across the whole union without materializing it.
@@ -148,13 +214,14 @@ func chainEndpoints(r query.Rule) (start, end query.Var, ok bool) {
 // skipped with pure bitmap work — over a spill with persisted
 // active-domain bitmaps, shards holding no candidate sources are never
 // read at all.
-func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (int64, error) {
+//
+// With workers > 1 the surviving ranges become a work queue drained by
+// a bounded pool; each worker owns a scanState and the partial results
+// merge deterministically afterwards, so the parallel count equals the
+// sequential one exactly. A Boolean witness flips a shared stop flag so
+// every worker quits early, mirroring the sequential early return.
+func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker, workers int) (int64, error) {
 	n := g.NumNodes()
-	cur := bitset.New(n)
-	nxt := bitset.New(n)
-	sa, sb := bitset.New(n), bitset.New(n)
-	acc := bitset.New(n)       // per-source union across rules (pair heads)
-	nodeUnion := bitset.New(n) // global union of projected endpoints (unary heads)
 	arity := q.Arity()
 
 	filters := make([]startFilter, len(plans))
@@ -162,86 +229,215 @@ func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker) (
 		filters[i] = startFilterFor(g, plans[i].exprs[0])
 	}
 
-	var total int64
-	for _, rg := range nodeRanges(g) {
-		if !rangeHasStart(filters, rg) {
-			continue
+	ranges := make([]NodeRange, 0, 8)
+	for _, rg := range scanRanges(g, workers) {
+		if rangeHasStart(filters, rg) {
+			ranges = append(ranges, rg)
 		}
-		for v := rg.Lo; v < rg.Hi; v++ {
-			if err := tr.checkTime(); err != nil {
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+
+	var stop atomic.Bool
+	if workers <= 1 {
+		st := newScanState(n)
+		for _, rg := range ranges {
+			if err := scanRange(g, plans, filters, rg, st, tr, &stop); err != nil {
 				return 0, err
 			}
-			accUsed := false
-			for pi, p := range plans {
-				// A source that cannot begin a match of the first
-				// expression contributes nothing from v (the same
-				// restriction evalCompiled applies).
-				if !filters[pi].startable(g, p.exprs[0], v) {
-					continue
-				}
-				// A source projection can only ever contribute v itself;
-				// skip the chain walk once v is in the result.
-				if p.proj == projSource && nodeUnion.Has(v) {
-					continue
-				}
-				cur.Clear()
-				cur.Add(v)
-				ok := true
-				for _, e := range p.exprs {
-					if err := exprImage(g, e, cur, nxt, sa, sb, tr); err != nil {
-						return 0, err
-					}
-					cur.CopyFrom(nxt)
-					if cur.Empty() {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				switch p.proj {
-				case projBoolean:
-					// The first witness decides a Boolean query; stop
-					// scanning the remaining sources.
-					if err := tr.charge(1); err != nil {
-						return 0, err
-					}
-					return 1, nil
-				case projSource:
-					nodeUnion.Add(v)
-					if err := tr.charge(1); err != nil {
-						return 0, err
-					}
-				case projTarget:
-					if added := nodeUnion.UnionWithCount(cur); added > 0 {
-						if err := tr.charge(int64(added)); err != nil {
-							return 0, err
-						}
-					}
-				case projPair:
-					acc.UnionWith(cur)
-					accUsed = true
-				}
-			}
-			if accUsed {
-				c := int64(acc.Count())
-				total += c
-				if err := tr.charge(c); err != nil {
-					return 0, err
-				}
-				acc.Clear()
+			if st.witness {
+				return 1, nil
 			}
 		}
+		return finishStreaming(arity, []*scanState{st}), nil
 	}
+
+	states := make([]*scanState, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		states[w] = newScanState(n)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := states[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranges) || stop.Load() {
+					return
+				}
+				if err := scanRange(g, plans, filters, ranges[i], st, tr, &stop); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				if st.witness {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A witness outranks worker errors: sequentially the witness would
+	// have ended the scan before the other ranges ran at all.
+	for _, st := range states {
+		if st.witness {
+			return 1, nil
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return finishStreaming(arity, states), nil
+}
+
+// scanRange runs the streaming scan over one node range, accumulating
+// into st. On a Boolean witness it charges the tuple, marks st, and
+// raises stop so sibling workers quit. The stop flag is polled per
+// source so a budget error or witness elsewhere halts this worker
+// promptly.
+func scanRange(g Source, plans []streamPlan, filters []startFilter, rg NodeRange, st *scanState, tr *tracker, stop *atomic.Bool) error {
+	for v := rg.Lo; v < rg.Hi; v++ {
+		if stop.Load() {
+			return nil
+		}
+		if err := tr.checkTime(); err != nil {
+			return err
+		}
+		accUsed := false
+		for pi, p := range plans {
+			// A source that cannot begin a match of the first
+			// expression contributes nothing from v (the same
+			// restriction evalCompiled applies).
+			if !filters[pi].startable(g, p.exprs[0], v) {
+				continue
+			}
+			// A source projection can only ever contribute v itself;
+			// skip the chain walk once v is in the result.
+			if p.proj == projSource && st.nodeUnion.Has(v) {
+				continue
+			}
+			st.cur.Clear()
+			st.cur.Add(v)
+			ok := true
+			for _, e := range p.exprs {
+				if err := exprImage(g, e, st.cur, st.nxt, st.sa, st.sb, tr); err != nil {
+					return err
+				}
+				st.cur.CopyFrom(st.nxt)
+				if st.cur.Empty() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			switch p.proj {
+			case projBoolean:
+				// The first witness decides a Boolean query; stop
+				// scanning the remaining sources.
+				if err := tr.charge(1); err != nil {
+					return err
+				}
+				st.witness = true
+				stop.Store(true)
+				return nil
+			case projSource:
+				st.nodeUnion.Add(v)
+				if err := tr.charge(1); err != nil {
+					return err
+				}
+			case projTarget:
+				if added := st.nodeUnion.UnionWithCount(st.cur); added > 0 {
+					if err := tr.charge(int64(added)); err != nil {
+						return err
+					}
+				}
+			case projPair:
+				st.acc.UnionWith(st.cur)
+				accUsed = true
+			}
+		}
+		if accUsed {
+			c := int64(st.acc.Count())
+			st.total += c
+			if err := tr.charge(c); err != nil {
+				return err
+			}
+			st.acc.Clear()
+		}
+	}
+	return nil
+}
+
+// finishStreaming merges the per-worker partial results into the final
+// count: pair totals sum (each source belongs to exactly one range),
+// unary endpoint sets union before counting so duplicates found by two
+// workers count once, and a witness was already handled by the caller.
+func finishStreaming(arity int, states []*scanState) int64 {
 	switch arity {
 	case 0:
-		return 0, nil // no rule produced a witness
+		return 0 // no rule produced a witness
 	case 1:
-		return int64(nodeUnion.Count()), nil
+		u := states[0].nodeUnion
+		for _, st := range states[1:] {
+			u.UnionWith(st.nodeUnion)
+		}
+		return int64(u.Count())
 	default:
-		return total, nil
+		var total int64
+		for _, st := range states {
+			total += st.total
+		}
+		return total
 	}
+}
+
+// scanRanges returns the node ranges the streaming scan walks. A
+// RangedSource's own storage ranges are authoritative (each is one
+// spill shard, so a worker exhausts a shard before touching the next).
+// Otherwise the node space is cut into about four chunks per worker —
+// small enough to balance skew, no smaller than 64 nodes — so parallel
+// scans of in-memory graphs get a work queue too.
+func scanRanges(g Source, workers int) []NodeRange {
+	if r, ok := g.(RangedSource); ok {
+		if rs := r.NodeRanges(); len(rs) > 0 {
+			return rs
+		}
+	}
+	n := int32(g.NumNodes())
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		return []NodeRange{{Lo: 0, Hi: n}}
+	}
+	chunk := n/int32(workers*4) + 1
+	if chunk < 64 {
+		chunk = 64
+	}
+	out := make([]NodeRange, 0, int(n/chunk)+1)
+	for lo := int32(0); lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, NodeRange{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// SourceRanges exposes the evaluator's range-partitioning of a source
+// for other evaluation stages (the simulated engines shard their
+// per-source outer loops over the same units): a RangedSource's own
+// ranges, or an even cut of the node space sized for workers.
+func SourceRanges(g Source, workers int) []NodeRange {
+	return scanRanges(g, workers)
 }
 
 // rangeHasStart reports whether any plan may have a source inside the

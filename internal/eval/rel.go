@@ -13,6 +13,7 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gmark/internal/bitset"
@@ -34,9 +35,12 @@ type Budget struct {
 	Timeout time.Duration
 }
 
-// tracker carries budget state through an evaluation.
+// tracker carries budget state through an evaluation. The pair
+// counter is atomic so one tracker can be shared by every worker of a
+// parallel evaluation: MaxPairs and Timeout bound the evaluation as a
+// whole, not each worker separately.
 type tracker struct {
-	pairs    int64
+	pairs    atomic.Int64
 	maxPairs int64
 	deadline time.Time
 }
@@ -54,11 +58,11 @@ func (t *tracker) charge(n int64) error {
 	if t == nil {
 		return nil
 	}
-	t.pairs += n
-	if t.maxPairs > 0 && t.pairs > t.maxPairs {
+	pairs := t.pairs.Add(n)
+	if t.maxPairs > 0 && pairs > t.maxPairs {
 		return fmt.Errorf("%w: more than %d tuples", ErrBudget, t.maxPairs)
 	}
-	if !t.deadline.IsZero() && t.pairs%1024 == 0 && time.Now().After(t.deadline) {
+	if !t.deadline.IsZero() && pairs%1024 == 0 && time.Now().After(t.deadline) {
 		return fmt.Errorf("%w: timeout", ErrBudget)
 	}
 	return nil

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"container/list"
+	"sync"
+
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+)
+
+// ShardCache is a concurrency-safe, byte-budgeted cache of CSR spill
+// shards shared across evaluations — and, when one cache is handed to
+// several SpillSources, across spills. It replaces the old
+// per-SpillSource private LRU, whose N private copies made N
+// concurrent evaluations of one spill pay the reload cliff N times.
+//
+// Misses are singleflight-deduplicated: the first goroutine to miss on
+// a (spill, predicate, direction, range) key loads the shard file with
+// no lock held, while every other goroutine missing on the same key
+// blocks until that one load publishes — concurrent evaluators never
+// read the same shard file twice. Shards whose load is still in flight
+// are pinned: eviction only considers fully loaded entries, from least
+// recently used, and never the shard just admitted, so evaluation
+// always makes progress even when one shard exceeds the whole budget.
+type ShardCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	peak    int64
+	entries map[sharedShardKey]*cacheEntry
+	order   *list.List // front = most recently used; loaded entries only
+
+	hits, loads, evictions, dedups int64
+}
+
+// sharedShardKey addresses one shard across every spill the cache
+// serves; the opened-spill pointer is the spill's identity.
+type sharedShardKey struct {
+	spill *graphgen.CSRSpill
+	pred  graph.PredID
+	inv   bool
+	idx   int // position in the direction's shard list
+}
+
+// cacheEntry is one shard in the cache: loading (done open, elem nil,
+// unevictable) or loaded (done closed, elem on the LRU list). sh and
+// err are written exactly once, before done closes.
+type cacheEntry struct {
+	key  sharedShardKey
+	done chan struct{}
+	sh   *cachedShard
+	err  error
+	elem *list.Element
+}
+
+// loadOutcome classifies one cache access for per-evaluator
+// attribution: a hit on a resident shard, a dedup hit (waited on
+// another goroutine's in-flight load), or a fresh load from disk.
+type loadOutcome int
+
+const (
+	loadHit loadOutcome = iota
+	loadDedup
+	loadFresh
+)
+
+// NewShardCache returns an empty cache bounded by budgetBytes of
+// resident shard data (<= 0 selects DefaultSpillCacheBytes). Share one
+// cache between SpillSources — or just share one SpillSource — to give
+// a fleet of concurrent evaluations one pooled residency instead of a
+// private working set each.
+func NewShardCache(budgetBytes int64) *ShardCache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultSpillCacheBytes
+	}
+	return &ShardCache{
+		budget:  budgetBytes,
+		entries: make(map[sharedShardKey]*cacheEntry),
+		order:   list.New(),
+	}
+}
+
+// Stats returns a snapshot of the cache-wide counters; BytesUsed and
+// PeakBytes describe current and peak residency under the byte budget.
+func (c *ShardCache) Stats() SpillCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SpillCacheStats{
+		Hits:      c.hits,
+		Loads:     c.loads,
+		Evictions: c.evictions,
+		DedupHits: c.dedups,
+		BytesUsed: c.used,
+		PeakBytes: c.peak,
+	}
+}
+
+// get returns the cached shard for key, calling load — with no cache
+// lock held — when the shard is neither resident nor already being
+// loaded by another goroutine. A failed load is not cached: the next
+// access retries, and every waiter of the failed flight receives the
+// same error.
+func (c *ShardCache) get(key sharedShardKey, load func() (*cachedShard, error)) (*cachedShard, loadOutcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.order.MoveToFront(e.elem)
+			c.hits++
+			sh := e.sh
+			c.mu.Unlock()
+			return sh, loadHit, nil
+		}
+		// Another goroutine is loading this shard right now; wait for
+		// its flight instead of reading the file a second time.
+		c.dedups++
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, loadDedup, e.err
+		}
+		return e.sh, loadDedup, nil
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	sh, err := load()
+
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		delete(c.entries, key)
+		close(e.done)
+		c.mu.Unlock()
+		return nil, loadFresh, err
+	}
+	e.sh = sh
+	c.loads++
+	c.used += sh.bytes
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	e.elem = c.order.PushFront(e)
+	// Evict least-recently-used loaded shards down to the budget.
+	// In-flight entries are not on the list, and the len > 1 guard
+	// keeps the shard just admitted, so an over-budget shard is still
+	// admitted alone.
+	for c.used > c.budget && c.order.Len() > 1 {
+		back := c.order.Back()
+		old := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, old.key)
+		c.used -= old.sh.bytes
+		c.evictions++
+	}
+	close(e.done)
+	c.mu.Unlock()
+	return sh, loadFresh, nil
+}

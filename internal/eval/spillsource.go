@@ -1,9 +1,9 @@
 package eval
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gmark/internal/bitset"
 	"gmark/internal/graph"
@@ -17,21 +17,28 @@ const DefaultSpillCacheBytes = 256 << 20
 
 // SpillSource is the out-of-core Source: it answers Neighbors from a
 // graphgen CSR spill directory, loading one (predicate, direction,
-// node-range) shard file at a time into a bounded LRU cache. A
-// streaming Count therefore touches only the shard files its frontier
-// reaches, and peak memory stays under the cache budget no matter how
-// large the spilled instance is.
+// node-range) shard file at a time through a ShardCache. A streaming
+// Count therefore touches only the shard files its frontier reaches,
+// and peak memory stays under the cache budget no matter how large the
+// spilled instance is.
+//
+// A SpillSource is safe for concurrent use: any number of evaluations
+// may share one source (or several sources sharing one ShardCache via
+// NewSpillSourceWith), and they share shard residency — a miss one
+// evaluator pays is a hit for every other, and simultaneous misses on
+// one shard collapse into a single file read.
 type SpillSource struct {
 	spill     *graphgen.CSRSpill
 	predIndex map[string]graph.PredID
+	cache     *ShardCache
 
-	mu      sync.Mutex
-	cache   map[shardKey]*list.Element
-	order   *list.List // front = most recently used
-	budget  int64
-	used    int64
-	stats   SpillCacheStats
-	loadErr error // sticky: first shard-load failure
+	// Per-evaluator attribution: accesses this source initiated,
+	// regardless of how many sources share the cache.
+	localHits, localLoads, localDedups atomic.Int64
+
+	mu             sync.Mutex
+	domainRebuilds int64
+	loadErr        error // sticky: first shard-load failure
 
 	// domMu guards the active-domain bitmap cache separately from the
 	// shard cache, so a legacy-spill rebuild (shard file reads) never
@@ -46,26 +53,28 @@ type domainKey struct {
 	inv  bool
 }
 
-// shardKey addresses one cached shard.
+// shardKey addresses one shard of this source's spill.
 type shardKey struct {
 	pred graph.PredID
 	inv  bool
 	idx  int // position in the direction's shard list
 }
 
-// cachedShard is one loaded shard plus its LRU bookkeeping.
+// cachedShard is one loaded shard.
 type cachedShard struct {
-	key   shardKey
 	lo    int32
 	off   []int32
 	adj   []int32
 	bytes int64
 }
 
-// SpillCacheStats reports shard-cache behavior of a SpillSource: how
-// many Neighbors lookups hit a resident shard, how many shard files
-// were loaded (including reloads after eviction), and the eviction
-// count. Loads == distinct shards touched when nothing was evicted.
+// SpillCacheStats reports shard-cache behavior: how many lookups hit a
+// resident shard, how many shard files were loaded (including reloads
+// after eviction), how many misses were deduplicated against another
+// goroutine's in-flight load of the same shard (DedupHits — these read
+// no file), and the eviction count. Loads == distinct shards touched
+// when nothing was evicted, for any number of concurrent evaluations.
+// BytesUsed and PeakBytes are current and peak resident bytes.
 // DomainRebuilds counts shard files read to reconstruct an
 // active-domain bitmap missing from a legacy spill; it stays zero on
 // spills with persisted bitmaps, which is how tests assert that
@@ -73,15 +82,18 @@ type cachedShard struct {
 type SpillCacheStats struct {
 	Hits           int64
 	Loads          int64
+	DedupHits      int64
 	Evictions      int64
 	BytesUsed      int64
+	PeakBytes      int64
 	DomainRebuilds int64
 }
 
-// OpenSpillSource opens a CSR spill directory as an evaluation Source.
-// cacheBytes bounds the resident shard bytes (<= 0 selects
-// DefaultSpillCacheBytes); a single shard larger than the budget is
-// still admitted alone, so evaluation always makes progress.
+// OpenSpillSource opens a CSR spill directory as an evaluation Source
+// with a private ShardCache. cacheBytes bounds the resident shard
+// bytes (<= 0 selects DefaultSpillCacheBytes); a single shard larger
+// than the budget is still admitted alone, so evaluation always makes
+// progress.
 func OpenSpillSource(dir string, cacheBytes int64) (*SpillSource, error) {
 	spill, err := graphgen.OpenCSRSpill(dir)
 	if err != nil {
@@ -90,17 +102,21 @@ func OpenSpillSource(dir string, cacheBytes int64) (*SpillSource, error) {
 	return NewSpillSource(spill, cacheBytes), nil
 }
 
-// NewSpillSource wraps an already-opened spill.
+// NewSpillSource wraps an already-opened spill with a private
+// ShardCache of the given byte budget (<= 0 selects
+// DefaultSpillCacheBytes).
 func NewSpillSource(spill *graphgen.CSRSpill, cacheBytes int64) *SpillSource {
-	if cacheBytes <= 0 {
-		cacheBytes = DefaultSpillCacheBytes
-	}
+	return NewSpillSourceWith(spill, NewShardCache(cacheBytes))
+}
+
+// NewSpillSourceWith wraps an already-opened spill around an existing
+// ShardCache, so several sources — over one spill or many — pool their
+// shard residency instead of each holding a private copy.
+func NewSpillSourceWith(spill *graphgen.CSRSpill, cache *ShardCache) *SpillSource {
 	s := &SpillSource{
 		spill:     spill,
 		predIndex: make(map[string]graph.PredID, len(spill.Manifest.Predicates)),
-		cache:     make(map[shardKey]*list.Element),
-		order:     list.New(),
-		budget:    cacheBytes,
+		cache:     cache,
 		domains:   make(map[domainKey]*bitset.Set),
 	}
 	for i, p := range spill.Manifest.Predicates {
@@ -118,6 +134,10 @@ func (s *SpillSource) Manifest() graphgen.CSRManifest { return s.spill.Manifest 
 // NumEdges returns the spilled edge count.
 func (s *SpillSource) NumEdges() int { return s.spill.Manifest.Edges }
 
+// Cache returns the shard cache this source loads through; shared
+// sources return the same cache.
+func (s *SpillSource) Cache() *ShardCache { return s.cache }
+
 // PredEdgeCount returns the number of edges labeled p, summed from the
 // manifest without touching any shard file.
 func (s *SpillSource) PredEdgeCount(p graph.PredID) int {
@@ -132,8 +152,8 @@ func (s *SpillSource) PredEdgeCount(p graph.PredID) int {
 }
 
 // NodeRanges implements RangedSource: one range per shard-file node
-// span, so the streaming evaluator's scan order matches the on-disk
-// layout.
+// span, so the streaming evaluator's scan order — and the parallel
+// evaluator's work units — match the on-disk layout.
 func (s *SpillSource) NodeRanges() []NodeRange {
 	w := s.spill.Manifest.ShardNodes
 	n := s.spill.Manifest.Nodes
@@ -202,7 +222,7 @@ func (s *SpillSource) rebuildDomain(p graph.PredID, inverse bool) (*bitset.Set, 
 		}
 		graphgen.DomainFromOffsets(dom, meta.Lo, off)
 		s.mu.Lock()
-		s.stats.DomainRebuilds++
+		s.domainRebuilds++
 		s.mu.Unlock()
 	}
 	return dom, nil
@@ -260,85 +280,78 @@ func (s *SpillSource) Err() error {
 	return s.loadErr
 }
 
-// CacheStats returns a snapshot of the shard-cache counters.
+// CacheStats returns a snapshot of the shard cache's counters plus
+// this source's DomainRebuilds. When the cache is shared between
+// sources the shard counters are cache-wide; LocalCacheStats has this
+// source's own attribution.
 func (s *SpillSource) CacheStats() SpillCacheStats {
+	st := s.cache.Stats()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.BytesUsed = s.used
+	st.DomainRebuilds = s.domainRebuilds
+	s.mu.Unlock()
 	return st
 }
 
-// shard returns the cached shard for key, loading and evicting as
-// needed. The file read happens outside the mutex so concurrent
-// evaluations sharing one source never serialize on each other's disk
-// I/O; two goroutines missing on the same key may both load it, and
-// the second insert wins the re-check (the first load is wasted work,
-// not an error).
-func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
-	s.mu.Lock()
-	if el, ok := s.cache[key]; ok {
-		s.order.MoveToFront(el)
-		s.stats.Hits++
-		sh := el.Value.(*cachedShard)
-		s.mu.Unlock()
-		return sh, nil
+// LocalCacheStats attributes shard-cache traffic to this source alone:
+// hits on shards somebody already paid for, loads this source itself
+// read from disk, and dedup hits where it waited on another
+// evaluator's in-flight load. Eviction and residency are cache-wide
+// properties and stay zero here; read them from CacheStats.
+func (s *SpillSource) LocalCacheStats() SpillCacheStats {
+	st := SpillCacheStats{
+		Hits:      s.localHits.Load(),
+		Loads:     s.localLoads.Load(),
+		DedupHits: s.localDedups.Load(),
 	}
+	s.mu.Lock()
+	st.DomainRebuilds = s.domainRebuilds
+	s.mu.Unlock()
+	return st
+}
+
+// shard resolves key against the manifest and fetches it through the
+// shared cache; the file read happens with no lock held, and
+// simultaneous misses on one shard collapse into a single read.
+func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
 	meta, err := s.shardMeta(key)
 	if err != nil {
-		if s.loadErr == nil {
-			s.loadErr = err
-		}
-		s.mu.Unlock()
+		s.fail(err)
 		return nil, err
 	}
-	s.mu.Unlock()
-
-	off, adj, err := s.spill.LoadShard(meta)
-	if err == nil && len(off) != meta.Hi-meta.Lo+1 {
-		err = fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
-			meta.File, len(off)-1, meta.Hi-meta.Lo)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh, outcome, err := s.cache.get(
+		sharedShardKey{spill: s.spill, pred: key.pred, inv: key.inv, idx: key.idx},
+		func() (*cachedShard, error) {
+			off, adj, err := s.spill.LoadShard(meta)
+			if err == nil && len(off) != meta.Hi-meta.Lo+1 {
+				err = fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
+					meta.File, len(off)-1, meta.Hi-meta.Lo)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &cachedShard{
+				lo:    int32(meta.Lo),
+				off:   off,
+				adj:   adj,
+				bytes: 4 * int64(len(off)+len(adj)),
+			}, nil
+		})
 	if err != nil {
-		if s.loadErr == nil {
-			s.loadErr = err
-		}
+		s.fail(err)
 		return nil, err
 	}
-	if el, ok := s.cache[key]; ok {
-		// Another goroutine loaded this shard while we read the file;
-		// keep the resident copy.
-		s.order.MoveToFront(el)
-		s.stats.Hits++
-		return el.Value.(*cachedShard), nil
-	}
-	sh := &cachedShard{
-		key:   key,
-		lo:    int32(meta.Lo),
-		off:   off,
-		adj:   adj,
-		bytes: 4 * int64(len(off)+len(adj)),
-	}
-	s.stats.Loads++
-	s.used += sh.bytes
-	s.cache[key] = s.order.PushFront(sh)
-	// Evict least-recently-used shards down to the budget, but never
-	// the shard just admitted.
-	for s.used > s.budget && s.order.Len() > 1 {
-		el := s.order.Back()
-		old := el.Value.(*cachedShard)
-		s.order.Remove(el)
-		delete(s.cache, old.key)
-		s.used -= old.bytes
-		s.stats.Evictions++
+	switch outcome {
+	case loadHit:
+		s.localHits.Add(1)
+	case loadDedup:
+		s.localDedups.Add(1)
+	case loadFresh:
+		s.localLoads.Add(1)
 	}
 	return sh, nil
 }
 
-// shardMeta resolves key against the manifest; called with s.mu held.
+// shardMeta resolves key against the manifest (read-only after open).
 func (s *SpillSource) shardMeta(key shardKey) (graphgen.CSRShard, error) {
 	preds := s.spill.Manifest.Predicates
 	if int(key.pred) >= len(preds) {
@@ -358,7 +371,14 @@ func (s *SpillSource) shardMeta(key shardKey) (graphgen.CSRShard, error) {
 // |Q(G)|, surfacing any shard-load failure the Source interface had to
 // swallow mid-evaluation.
 func CountOverSpill(s *SpillSource, q *query.Query, b Budget) (int64, error) {
-	n, err := Count(s, q, b)
+	return CountOverSpillWith(s, q, b, EvalOptions{Workers: 1})
+}
+
+// CountOverSpillWith is CountOverSpill with explicit evaluation
+// options: Workers > 1 shards the streaming scan across the spill's
+// node ranges, with all workers sharing the source's shard cache.
+func CountOverSpillWith(s *SpillSource, q *query.Query, b Budget, opt EvalOptions) (int64, error) {
+	n, err := CountWith(s, q, b, opt)
 	if err != nil {
 		return 0, err
 	}

@@ -48,6 +48,10 @@ type Options struct {
 	// cores). Generated instances are identical for any value at a
 	// fixed seed.
 	Parallelism int
+	// EvalWorkers is the evaluation worker count for the parallel
+	// evaluation study (0 = all cores, 1 = sequential; counts are
+	// identical for any value).
+	EvalWorkers int
 }
 
 // measureEngine runs one engine evaluation under the configured

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/usecases"
+)
+
+// ParEvalRow reports the parallel-evaluation study for one
+// (use case, query): the same Count sequentially and with a worker
+// pool, in memory and over a CSR spill, plus the shared-cache evidence
+// that a fleet of concurrent evaluations loads each shard once.
+type ParEvalRow struct {
+	Usecase  string
+	Nodes    int
+	Edges    int
+	Query    string
+	Workers  int
+	Count    int64
+	SeqInMem time.Duration
+	ParInMem time.Duration
+	SeqSpill time.Duration
+	ParSpill time.Duration
+	// SingleLoads is the shard loads of one evaluation over a fresh
+	// source; FleetLoads is the loads of FleetSize concurrent
+	// evaluations of the same query over one shared source. Shared
+	// residency means FleetLoads == SingleLoads.
+	SingleLoads int64
+	FleetLoads  int64
+	FleetSize   int
+}
+
+// InMemSpeedup is SeqInMem/ParInMem (1.0 = no change; on a single-core
+// container expect ~1x).
+func (r ParEvalRow) InMemSpeedup() float64 {
+	if r.ParInMem <= 0 {
+		return 0
+	}
+	return float64(r.SeqInMem) / float64(r.ParInMem)
+}
+
+// SpillSpeedup is SeqSpill/ParSpill.
+func (r ParEvalRow) SpillSpeedup() float64 {
+	if r.ParSpill <= 0 {
+		return 0
+	}
+	return float64(r.SeqSpill) / float64(r.ParSpill)
+}
+
+// ParEval measures range-sharded parallel evaluation against the
+// sequential evaluator on every built-in use case: the instance is
+// generated once, spilled once, and each query of the spill battery is
+// counted at workers=1 and at the configured worker count, in memory
+// and over the spill. Counts must agree exactly — a mismatch is an
+// error, not a row. Each row also runs a fleet of concurrent
+// evaluations over one shared spill source and records that the shared
+// cache loads every shard exactly once across the whole fleet.
+func ParEval(opt Options) ([]ParEvalRow, error) {
+	opt = opt.withDefaults()
+	size := 20_000
+	if opt.Full {
+		size = 100_000
+	}
+	if len(opt.Sizes) > 0 {
+		size = opt.Sizes[0]
+	}
+	workers := opt.EvalWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardNodes := size/32 + 1
+
+	var rows []ParEvalRow
+	for _, uc := range usecases.Names {
+		ucRows, err := parEvalUsecase(opt, uc, size, shardNodes, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ucRows...)
+	}
+	return rows, nil
+}
+
+// parEvalUsecase runs the study for one use case; the temp spill
+// directory is cleaned up on every return path.
+func parEvalUsecase(opt Options, uc string, size, shardNodes, workers int) ([]ParEvalRow, error) {
+	g, err := buildGraph(uc, size, opt.Seed, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "gmark-par-eval-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+		return nil, err
+	}
+	cfg, err := usecases.ByName(uc, size)
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.Schema.Predicates[0].Name
+	const fleetSize = 4
+	var rows []ParEvalRow
+	for _, qc := range spillEvalQueries(pred) {
+		start := time.Now()
+		want, err := eval.Count(g, qc.q, opt.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s in-memory %s: %w", uc, qc.label, err)
+		}
+		seqInMem := time.Since(start)
+
+		start = time.Now()
+		got, err := eval.CountWith(g, qc.q, opt.Budget, eval.EvalOptions{Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel %s: %w", uc, qc.label, err)
+		}
+		parInMem := time.Since(start)
+		if got != want {
+			return nil, fmt.Errorf("%s %s: parallel count %d != sequential %d", uc, qc.label, got, want)
+		}
+
+		seqSpill, singleLoads, err := parEvalSpill(dir, qc.q, opt, 1, 1, want)
+		if err != nil {
+			return nil, fmt.Errorf("%s spill seq %s: %w", uc, qc.label, err)
+		}
+		parSpill, _, err := parEvalSpill(dir, qc.q, opt, workers, 1, want)
+		if err != nil {
+			return nil, fmt.Errorf("%s spill par %s: %w", uc, qc.label, err)
+		}
+		_, fleetLoads, err := parEvalSpill(dir, qc.q, opt, 1, fleetSize, want)
+		if err != nil {
+			return nil, fmt.Errorf("%s spill fleet %s: %w", uc, qc.label, err)
+		}
+
+		row := ParEvalRow{
+			Usecase: uc, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+			Query: qc.label, Workers: workers, Count: got,
+			SeqInMem: seqInMem, ParInMem: parInMem,
+			SeqSpill: seqSpill, ParSpill: parSpill,
+			SingleLoads: singleLoads, FleetLoads: fleetLoads, FleetSize: fleetSize,
+		}
+		rows = append(rows, row)
+		opt.progressf("par-eval %s %s workers=%d: in-mem %v -> %v (%.1fx), spill %v -> %v (%.1fx), fleet(%d) loads %d vs single %d",
+			uc, qc.label, workers,
+			seqInMem.Round(time.Microsecond), parInMem.Round(time.Microsecond), row.InMemSpeedup(),
+			seqSpill.Round(time.Microsecond), parSpill.Round(time.Microsecond), row.SpillSpeedup(),
+			fleetSize, fleetLoads, singleLoads)
+	}
+	return rows, nil
+}
+
+// parEvalSpill opens a fresh spill source (generous cache) and runs
+// fleet concurrent evaluations of q with the given worker count each,
+// returning the wall-clock of the whole fleet and the shard loads the
+// shared cache performed across it. Every evaluation must reproduce
+// want exactly.
+func parEvalSpill(dir string, q *query.Query, opt Options, workers, fleet int, want int64) (time.Duration, int64, error) {
+	src, err := eval.OpenSpillSource(dir, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	errs := make([]error, fleet)
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := eval.CountOverSpillWith(src, q, opt.Budget, eval.EvalOptions{Workers: workers})
+			if err == nil && got != want {
+				err = fmt.Errorf("spill count %d != expected %d", got, want)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return elapsed, src.CacheStats().Loads, nil
+}
+
+// RenderParEval prints the rows.
+func RenderParEval(w io.Writer, rows []ParEvalRow) {
+	fmt.Fprintf(w, "%-5s %-28s %10s %3s %10s %10s %8s %10s %10s %8s %12s\n",
+		"", "query", "count", "w", "seq-mem", "par-mem", "speedup", "seq-spill", "par-spill", "speedup", "fleet-loads")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-28s %10d %3d %10v %10v %7.1fx %10v %10v %7.1fx %5d (=%d)\n",
+			r.Usecase, r.Query, r.Count, r.Workers,
+			r.SeqInMem.Round(time.Microsecond), r.ParInMem.Round(time.Microsecond), r.InMemSpeedup(),
+			r.SeqSpill.Round(time.Microsecond), r.ParSpill.Round(time.Microsecond), r.SpillSpeedup(),
+			r.FleetLoads, r.SingleLoads)
+	}
+}
