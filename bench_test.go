@@ -607,6 +607,47 @@ func BenchmarkSpillEval(b *testing.B) {
 	})
 }
 
+// BenchmarkSpillLoadV3 measures cold shard decode for each on-disk
+// encoding: every iteration loads and decodes every shard of the
+// instance, so ns/op is the full cold sweep and disk-bytes/op shows
+// what each codec actually reads. Recorded in BENCH_generate.json.
+func BenchmarkSpillLoadV3(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	for _, comp := range []graphgen.SpillCompression{
+		graphgen.SpillCompressNone, graphgen.SpillCompressVarint, graphgen.SpillCompressDeflate,
+	} {
+		dir := b.TempDir()
+		if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, 1024, comp); err != nil {
+			b.Fatal(err)
+		}
+		spill, err := graphgen.OpenCSRSpill(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(comp.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var disk, decoded int64
+			for i := 0; i < b.N; i++ {
+				disk, decoded = 0, 0
+				for _, p := range spill.Manifest.Predicates {
+					for _, shards := range [][]graphgen.CSRShard{p.Fwd, p.Bwd} {
+						for _, sh := range shards {
+							off, adj, diskBytes, err := spill.LoadShardSized(sh)
+							if err != nil {
+								b.Fatal(err)
+							}
+							disk += diskBytes
+							decoded += 4 * int64(len(off)+len(adj))
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(disk), "disk-bytes/op")
+			b.ReportMetric(float64(decoded)/float64(disk), "compression-x")
+		})
+	}
+}
+
 // BenchmarkParallelEval measures the range-sharded parallel evaluator
 // against the sequential scan, in memory and over a warm spill. Counts
 // are identical by construction (pinned by TestParallelCountMatches-

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
 // qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines,
-// par-eval, all.
+// spill-size, par-eval, all.
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 	log.SetPrefix("gmark-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, par-eval, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, spill-size, par-eval, all)")
 		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
@@ -68,7 +68,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "par-eval", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "spill-size", "par-eval", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -166,6 +166,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderSpillEngines(os.Stdout, rows)
+	case "spill-size":
+		rows, err := experiments.SpillSize(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpillSize(os.Stdout, rows)
 	case "coverage":
 		rows, err := experiments.Coverage(opt)
 		if err != nil {

@@ -61,7 +61,9 @@ func main() {
 		par         = flag.Int("parallelism", 0, "graph- and workload-generation workers (0 = all cores; output is seed-deterministic for any value)")
 		shardEdges  = flag.Int("shard-edges", 0, "target edges per graph-emission shard (0 = default 128K; negative disables intra-constraint sharding)")
 		partition   = flag.Bool("partition", false, "also write the graph partitioned by predicate (one edge file each + index.json) under <out>/partitioned")
+		partBinary  = flag.Bool("partition-binary", false, "write -partition edge files as binary delta-varint pairs instead of text lines (severalfold smaller; implies -partition)")
 		csrSpill    = flag.Bool("csr-spill", false, "also spill the graph as node-range-sharded binary CSR files under <out>/csr")
+		spillComp   = flag.String("spill-compress", "varint", "CSR spill shard encoding: none (raw v2), varint (delta-varint v3), deflate (varint + per-shard DEFLATE frame when smaller), zstd (reserved)")
 		verify      = flag.Bool("verify", false, "check the generated instance's degree statistics against the configured distributions (materialized path only)")
 		workloadOut = flag.String("workload-out", "", "directory for per-query translated files (default <out>/queries)")
 		syntax      = flag.String("syntax", "sparql,cypher,sql,datalog", "comma-separated translation syntaxes for the per-query files, or empty to skip translation")
@@ -82,6 +84,14 @@ func main() {
 	}
 	if *evalEngine != "" {
 		log.Fatal("-eval-engine requires -eval-spill")
+	}
+
+	comp, err := graphgen.ParseSpillCompression(*spillComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *partBinary {
+		*partition = true
 	}
 
 	var gcfg *schema.GraphConfig
@@ -169,14 +179,14 @@ func main() {
 			}
 			sinks := []graphgen.EdgeSink{ws}
 			if partDir != "" {
-				ps, err := graphgen.NewPartitionedSink(partDir, gcfg)
+				ps, err := newPartSink(partDir, gcfg, *partBinary)
 				if err != nil {
 					return err
 				}
 				sinks = append(sinks, ps)
 			}
 			if csrDir != "" {
-				cs, err := graphgen.NewCSRSpillSink(csrDir, gcfg, 0)
+				cs, err := graphgen.NewCSRSpillSinkWith(csrDir, gcfg, 0, comp)
 				if err != nil {
 					return err
 				}
@@ -208,7 +218,7 @@ func main() {
 		}
 		sinks := []graphgen.EdgeSink{gs}
 		if partDir != "" {
-			ps, err := graphgen.NewPartitionedSink(partDir, gcfg)
+			ps, err := newPartSink(partDir, gcfg, *partBinary)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -228,7 +238,7 @@ func main() {
 			// The frozen graph already holds both CSR directions;
 			// spill those instead of buffering a second edge copy in a
 			// CSRSpillSink and rebuilding the adjacency.
-			if err := graphgen.WriteCSRSpillFromGraph(csrDir, g, 0); err != nil {
+			if err := graphgen.WriteCSRSpillFromGraphWith(csrDir, g, 0, comp); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("csr spill: %d predicates in %s", g.NumPredicates(), csrDir)
@@ -406,9 +416,17 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) er
 		log.Printf("engine %s: count(%s) = %d", eng.Name(), expr, n)
 	}
 	st := src.CacheStats()
-	log.Printf("shard cache: %d loads, %d hits (%d deduped in flight), %d evictions, %d domain-rebuild reads, %d bytes resident (peak %d)",
-		st.Loads, st.Hits, st.DedupHits, st.Evictions, st.DomainRebuilds, st.BytesUsed, st.PeakBytes)
+	log.Printf("shard cache: %d loads (%d bytes from disk), %d hits (%d deduped in flight), %d evictions, %d domain-rebuild reads, %d bytes resident (peak %d)",
+		st.Loads, st.DiskBytesLoaded, st.Hits, st.DedupHits, st.Evictions, st.DomainRebuilds, st.BytesUsed, st.PeakBytes)
 	return nil
+}
+
+// newPartSink opens the partitioned sink in the mode the flags chose.
+func newPartSink(dir string, gcfg *schema.GraphConfig, binary bool) (*graphgen.PartitionedSink, error) {
+	if binary {
+		return graphgen.NewBinaryPartitionedSink(dir, gcfg)
+	}
+	return graphgen.NewPartitionedSink(dir, gcfg)
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

@@ -15,8 +15,16 @@ import (
 )
 
 // buildSpill generates a use-case instance and spills it at the given
-// shard width, returning the frozen graph and the spill directory.
+// shard width in the default (v3 varint) encoding, returning the
+// frozen graph and the spill directory.
 func buildSpill(t *testing.T, uc string, n, shardNodes int) (*graph.Graph, string) {
+	t.Helper()
+	return buildSpillComp(t, uc, n, shardNodes, graphgen.SpillCompressVarint)
+}
+
+// buildSpillComp is buildSpill with an explicit shard encoding, for
+// the cross-version compatibility fixtures.
+func buildSpillComp(t *testing.T, uc string, n, shardNodes int, comp graphgen.SpillCompression) (*graph.Graph, string) {
 	t.Helper()
 	cfg, err := usecases.ByName(uc, n)
 	if err != nil {
@@ -27,7 +35,7 @@ func buildSpill(t *testing.T, uc string, n, shardNodes int) (*graph.Graph, strin
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "csr")
-	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
 		t.Fatal(err)
 	}
 	return g, dir
@@ -130,7 +138,8 @@ func TestStarDomainOverSpillZeroSweeps(t *testing.T) {
 // layout) opens and evaluates to the same counts, rebuilding the
 // bitmaps lazily by a one-time shard sweep.
 func TestLegacySpillStillEvaluates(t *testing.T) {
-	g, dir := buildSpill(t, "bib", 300, 7)
+	// Raw shards + stripped manifest = a byte-faithful v1 spill.
+	g, dir := buildSpillComp(t, "bib", 300, 7, graphgen.SpillCompressNone)
 	stripDomains(t, dir)
 
 	src, err := OpenSpillSource(dir, 0)

@@ -31,6 +31,7 @@ type ShardCache struct {
 	order   *list.List // front = most recently used; loaded entries only
 
 	hits, loads, evictions, dedups int64
+	diskLoaded                     int64 // cumulative on-disk bytes read by fresh loads
 }
 
 // sharedShardKey addresses one shard across every spill the cache
@@ -86,12 +87,13 @@ func (c *ShardCache) Stats() SpillCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return SpillCacheStats{
-		Hits:      c.hits,
-		Loads:     c.loads,
-		Evictions: c.evictions,
-		DedupHits: c.dedups,
-		BytesUsed: c.used,
-		PeakBytes: c.peak,
+		Hits:            c.hits,
+		Loads:           c.loads,
+		Evictions:       c.evictions,
+		DedupHits:       c.dedups,
+		BytesUsed:       c.used,
+		PeakBytes:       c.peak,
+		DiskBytesLoaded: c.diskLoaded,
 	}
 }
 
@@ -136,6 +138,7 @@ func (c *ShardCache) get(key sharedShardKey, load func() (*cachedShard, error)) 
 	}
 	e.sh = sh
 	c.loads++
+	c.diskLoaded += sh.diskBytes
 	c.used += sh.bytes
 	if c.used > c.peak {
 		c.peak = c.used

@@ -60,12 +60,15 @@ type shardKey struct {
 	idx  int // position in the direction's shard list
 }
 
-// cachedShard is one loaded shard.
+// cachedShard is one loaded shard. bytes is the decoded size charged
+// against the cache budget (residency); diskBytes is what the load
+// actually read from disk, smaller on compressed (v3) spills.
 type cachedShard struct {
-	lo    int32
-	off   []int32
-	adj   []int32
-	bytes int64
+	lo        int32
+	off       []int32
+	adj       []int32
+	bytes     int64
+	diskBytes int64
 }
 
 // SpillCacheStats reports shard-cache behavior: how many lookups hit a
@@ -74,19 +77,24 @@ type cachedShard struct {
 // goroutine's in-flight load of the same shard (DedupHits — these read
 // no file), and the eviction count. Loads == distinct shards touched
 // when nothing was evicted, for any number of concurrent evaluations.
-// BytesUsed and PeakBytes are current and peak resident bytes.
+// BytesUsed and PeakBytes are current and peak resident bytes — always
+// the decoded []int32 size, so `-eval-cache-mb` stays a residency
+// budget no matter how the shards are encoded on disk; DiskBytesLoaded
+// is the cumulative on-disk bytes fresh loads actually read, which on
+// compressed (format_version 3) spills is severalfold smaller.
 // DomainRebuilds counts shard files read to reconstruct an
 // active-domain bitmap missing from a legacy spill; it stays zero on
 // spills with persisted bitmaps, which is how tests assert that
 // StarDomain performs no full-shard sweep.
 type SpillCacheStats struct {
-	Hits           int64
-	Loads          int64
-	DedupHits      int64
-	Evictions      int64
-	BytesUsed      int64
-	PeakBytes      int64
-	DomainRebuilds int64
+	Hits            int64
+	Loads           int64
+	DedupHits       int64
+	Evictions       int64
+	BytesUsed       int64
+	PeakBytes       int64
+	DiskBytesLoaded int64
+	DomainRebuilds  int64
 }
 
 // OpenSpillSource opens a CSR spill directory as an evaluation Source
@@ -321,7 +329,7 @@ func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
 	sh, outcome, err := s.cache.get(
 		sharedShardKey{spill: s.spill, pred: key.pred, inv: key.inv, idx: key.idx},
 		func() (*cachedShard, error) {
-			off, adj, err := s.spill.LoadShard(meta)
+			off, adj, diskBytes, err := s.spill.LoadShardSized(meta)
 			if err == nil && len(off) != meta.Hi-meta.Lo+1 {
 				err = fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
 					meta.File, len(off)-1, meta.Hi-meta.Lo)
@@ -330,10 +338,11 @@ func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
 				return nil, err
 			}
 			return &cachedShard{
-				lo:    int32(meta.Lo),
-				off:   off,
-				adj:   adj,
-				bytes: 4 * int64(len(off)+len(adj)),
+				lo:        int32(meta.Lo),
+				off:       off,
+				adj:       adj,
+				bytes:     4 * int64(len(off)+len(adj)),
+				diskBytes: diskBytes,
 			}, nil
 		})
 	if err != nil {

@@ -440,3 +440,27 @@ func TestSpillEnginesSmoke(t *testing.T) {
 		t.Error("render missing query column")
 	}
 }
+
+func TestSpillSizeSmoke(t *testing.T) {
+	rows, err := SpillSize(Options{Sizes: []int{2000}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 use cases x 3 encodings.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Bytes <= 0 || r.Loads == 0 || r.DiskBytes <= 0 {
+			t.Errorf("%s %s: %+v", r.Usecase, r.Format, r)
+		}
+		if r.Format != "v2-none" && r.VsV2 <= 1 {
+			t.Errorf("%s %s: not smaller than v2 (%.2fx)", r.Usecase, r.Format, r.VsV2)
+		}
+	}
+	var buf strings.Builder
+	RenderSpillSize(&buf, rows)
+	if !strings.Contains(buf.String(), "v3-varint") {
+		t.Error("render missing format column")
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/usecases"
+)
+
+// SpillSizeRow reports the on-disk format study for one
+// (use case, spill encoding): total bytes of the spill directory, the
+// size ratio versus the raw v2 baseline of the same instance, and a
+// cold-then-warm count of the inverse-join chain query — cold pays the
+// shard loads, warm runs entirely from the decoded cache, so the pair
+// isolates what the encoding costs at read time.
+type SpillSizeRow struct {
+	Usecase   string
+	Nodes     int
+	Edges     int
+	Format    string  // "v2-none", "v3-varint", "v3-deflate"
+	Bytes     int64   // spill directory size on disk
+	VsV2      float64 // v2 bytes / this format's bytes (>= 2 is the acceptance bar)
+	Query     string
+	Count     int64
+	Cold      time.Duration
+	Warm      time.Duration
+	Loads     int64
+	DiskBytes int64 // bytes the cold count actually read from shard files
+}
+
+// spillSizeVariants is the encoding sweep: the raw legacy baseline and
+// both v3 codecs.
+var spillSizeVariants = []struct {
+	label string
+	comp  graphgen.SpillCompression
+}{
+	{"v2-none", graphgen.SpillCompressNone},
+	{"v3-varint", graphgen.SpillCompressVarint},
+	{"v3-deflate", graphgen.SpillCompressDeflate},
+}
+
+// SpillSize measures CSR spill bytes-on-disk and cold/warm evaluation
+// for the raw v2 format against both v3 encodings, on every built-in
+// use case. Counts must agree across formats — the encodings change
+// bytes, never adjacency.
+func SpillSize(opt Options) ([]SpillSizeRow, error) {
+	opt = opt.withDefaults()
+	size := 20_000
+	if opt.Full {
+		size = 100_000
+	}
+	if len(opt.Sizes) > 0 {
+		size = opt.Sizes[0]
+	}
+	shardNodes := size/32 + 1
+
+	var rows []SpillSizeRow
+	for _, uc := range usecases.Names {
+		ucRows, err := spillSizeUsecase(opt, uc, size, shardNodes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ucRows...)
+	}
+	return rows, nil
+}
+
+// spillSizeUsecase runs the sweep for one use case: one generated
+// graph, one spill per encoding, each sized and then counted cold and
+// warm through a fresh source.
+func spillSizeUsecase(opt Options, uc string, size, shardNodes int) ([]SpillSizeRow, error) {
+	g, err := buildGraph(uc, size, opt.Seed, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := usecases.ByName(uc, size)
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.Schema.Predicates[0].Name
+	qc := spillEvalQueries(pred)[1] // the inverse-join chain
+
+	var rows []SpillSizeRow
+	var v2Bytes int64
+	var want int64
+	for vi, v := range spillSizeVariants {
+		dir, err := os.MkdirTemp("", "gmark-spill-size-")
+		if err != nil {
+			return nil, err
+		}
+		err = func() error {
+			defer os.RemoveAll(dir)
+			if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, v.comp); err != nil {
+				return err
+			}
+			bytes, err := dirBytes(dir)
+			if err != nil {
+				return err
+			}
+			src, err := eval.OpenSpillSource(dir, 0)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			got, err := eval.CountOverSpill(src, qc.q, opt.Budget)
+			if err != nil {
+				return fmt.Errorf("%s %s cold %s: %w", uc, v.label, qc.label, err)
+			}
+			cold := time.Since(start)
+			st := src.CacheStats()
+			start = time.Now()
+			warmGot, err := eval.CountOverSpill(src, qc.q, opt.Budget)
+			if err != nil {
+				return fmt.Errorf("%s %s warm %s: %w", uc, v.label, qc.label, err)
+			}
+			warm := time.Since(start)
+			if warmGot != got {
+				return fmt.Errorf("%s %s: warm count %d != cold %d", uc, v.label, warmGot, got)
+			}
+			if vi == 0 {
+				v2Bytes, want = bytes, got
+			} else if got != want {
+				return fmt.Errorf("%s %s: count %d != v2 count %d", uc, v.label, got, want)
+			}
+			row := SpillSizeRow{
+				Usecase: uc, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+				Format: v.label, Bytes: bytes,
+				VsV2:  float64(v2Bytes) / float64(bytes),
+				Query: qc.label, Count: got, Cold: cold, Warm: warm,
+				Loads: st.Loads, DiskBytes: st.DiskBytesLoaded,
+			}
+			rows = append(rows, row)
+			opt.progressf("spill-size %s %s: %d bytes (%.2fx vs v2), cold %v, warm %v, %d loads / %d disk bytes",
+				uc, v.label, bytes, row.VsV2, cold.Round(time.Microsecond), warm.Round(time.Microsecond),
+				st.Loads, st.DiskBytesLoaded)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// dirBytes sums the file sizes under dir.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
+
+// RenderSpillSize prints the rows.
+func RenderSpillSize(w io.Writer, rows []SpillSizeRow) {
+	fmt.Fprintf(w, "%-5s %-11s %10s %7s %-24s %10s %12s %12s %6s %10s\n",
+		"", "format", "bytes", "vs-v2", "query", "count", "cold", "warm", "loads", "disk")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-11s %10d %6.2fx %-24s %10d %12v %12v %6d %10d\n",
+			r.Usecase, r.Format, r.Bytes, r.VsV2, r.Query, r.Count,
+			r.Cold.Round(time.Microsecond), r.Warm.Round(time.Microsecond),
+			r.Loads, r.DiskBytes)
+	}
+}

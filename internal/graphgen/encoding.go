@@ -1,0 +1,460 @@
+package graphgen
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the self-contained byte codec of the compressed
+// (format_version 3) on-disk generation: uvarint/zigzag primitives
+// over []int32, the delta-varint CSR shard payload, the optional
+// per-shard compression frame, and the delta-varint (from, to) pair
+// stream shared by the spill sink's temp run files and the binary
+// partitioned edge files. docs/FORMATS.md specifies every layout for
+// external readers; the decoders here are hardened to reject
+// truncated, corrupt, or overflowing input with errors — never a
+// panic, never silent wrong adjacency — and are fuzzed
+// (FuzzCSRShardDecode).
+
+// SpillCompression selects the on-disk generation a CSR spill (or any
+// other compressible sink) writes. The zero value is the legacy raw
+// layout, so existing call sites keep their bytes unless they opt in.
+type SpillCompression int
+
+// The spill compression settings. None writes the legacy
+// format_version 2 raw-uint32 layout; Varint writes format_version 3
+// delta-varint shards with no compression frame; Deflate additionally
+// wraps each shard's payload in a DEFLATE frame when that actually
+// shrinks it (the codec flag byte records the per-shard choice); Zstd
+// names the reserved codec ID 1 — the format reserves it so a future
+// zstd writer needs no format_version 4, but this vendor-free build
+// implements no zstd coder and rejects the setting at write time.
+const (
+	SpillCompressNone SpillCompression = iota
+	SpillCompressVarint
+	SpillCompressDeflate
+	SpillCompressZstd
+)
+
+// ParseSpillCompression maps a -spill-compress flag value to its
+// setting: "none", "varint", "deflate", or "zstd".
+func ParseSpillCompression(s string) (SpillCompression, error) {
+	switch s {
+	case "none":
+		return SpillCompressNone, nil
+	case "varint":
+		return SpillCompressVarint, nil
+	case "deflate":
+		return SpillCompressDeflate, nil
+	case "zstd":
+		return SpillCompressZstd, fmt.Errorf("graphgen: zstd is a reserved codec (ID %d) not implemented by this vendor-free build; use -spill-compress=deflate", codecZstd)
+	default:
+		return SpillCompressNone, fmt.Errorf("graphgen: unknown spill compression %q (want none, varint, deflate, or zstd)", s)
+	}
+}
+
+// String names the setting the way ParseSpillCompression spells it.
+func (c SpillCompression) String() string {
+	switch c {
+	case SpillCompressNone:
+		return "none"
+	case SpillCompressVarint:
+		return "varint"
+	case SpillCompressDeflate:
+		return "deflate"
+	case SpillCompressZstd:
+		return "zstd"
+	}
+	return fmt.Sprintf("SpillCompression(%d)", int(c))
+}
+
+// checkSpillCompression rejects settings no writer of this build can
+// honor — zstd is reserved on disk but has no coder here — at sink
+// construction rather than mid-run.
+func checkSpillCompression(comp SpillCompression) error {
+	switch comp {
+	case SpillCompressNone, SpillCompressVarint, SpillCompressDeflate:
+		return nil
+	case SpillCompressZstd:
+		return fmt.Errorf("graphgen: zstd is a reserved codec (ID %d) not implemented by this vendor-free build; use deflate", codecZstd)
+	default:
+		return fmt.Errorf("graphgen: unknown spill compression %d", int(comp))
+	}
+}
+
+// The per-shard codec flag byte of a v3 shard file: how the
+// delta-varint payload that follows the header is framed. codecZstd is
+// reserved — writing it needs a zstd coder this build does not carry,
+// and the decoder rejects it with a clear error instead of guessing.
+const (
+	codecRaw     byte = 0 // payload is the varint bytes, unframed
+	codecZstd    byte = 1 // reserved: zstd frame around the varint bytes
+	codecDeflate byte = 2 // DEFLATE frame around the varint bytes
+)
+
+// zigzag maps a signed delta to an unsigned varint-friendly value
+// (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// byteReader reads varints from a byte slice with explicit
+// truncation/overflow errors and a running position for messages.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+// uvarint reads one unsigned varint.
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, fmt.Errorf("truncated varint at byte %d", r.pos)
+		}
+		return 0, fmt.Errorf("varint overflows 64 bits at byte %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// svarint reads one zigzag-encoded signed varint.
+func (r *byteReader) svarint() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// rest returns the number of unread bytes.
+func (r *byteReader) rest() int { return len(r.buf) - r.pos }
+
+// encodeCSRPayload renders one shard's adjacency as the v3 varint
+// payload. off is the shard's offset slice (nLocal+1 entries, not
+// necessarily rebased — only the gaps are stored), adj the shard's
+// adjacency entries with rows sorted ascending.
+//
+// Layout: first the nLocal offset gaps off[i+1]-off[i] as uvarints
+// (the stored off[0] is 0 by construction), then per non-empty row the
+// first neighbor zigzag-encoded as a delta against the previous
+// non-empty row's first neighbor (starting from 0), followed by the
+// row's remaining neighbor gaps as uvarints. Rows are sorted, so both
+// gap kinds are small by construction and the payload shrinks several
+// fold against raw uint32s.
+func encodeCSRPayload(off, adj []int32) []byte {
+	// Degrees are usually 1-2 varint bytes; neighbor gaps 1-3.
+	buf := make([]byte, 0, len(off)+2*len(adj)+16)
+	for i := 0; i+1 < len(off); i++ {
+		buf = binary.AppendUvarint(buf, uint64(off[i+1]-off[i]))
+	}
+	base := off[0]
+	prevFirst := int64(0)
+	for i := 0; i+1 < len(off); i++ {
+		row := adj[off[i]-base : off[i+1]-base]
+		if len(row) == 0 {
+			continue
+		}
+		first := int64(row[0])
+		buf = binary.AppendUvarint(buf, zigzag(first-prevFirst))
+		prevFirst = first
+		for j := 1; j < len(row); j++ {
+			buf = binary.AppendUvarint(buf, uint64(row[j]-row[j-1]))
+		}
+	}
+	return buf
+}
+
+// decodeCSRPayload inverts encodeCSRPayload: it rebuilds the rebased
+// offset slice (off[0] == 0) and the adjacency entries of a shard
+// covering nLocal nodes with edges entries. Every accumulated value is
+// range-checked so corrupt input yields an error, never out-of-range
+// adjacency.
+func decodeCSRPayload(payload []byte, nLocal, edges int) (off, adj []int32, err error) {
+	// Every stored value — nLocal offset gaps, one varint per
+	// adjacency entry — occupies at least one payload byte, so this
+	// single check bounds both allocations below by the input size: a
+	// corrupt header cannot demand a giant slice from a tiny payload.
+	if len(payload) < nLocal+edges {
+		return nil, nil, fmt.Errorf("payload of %d bytes too short for %d nodes, %d edges", len(payload), nLocal, edges)
+	}
+	r := &byteReader{buf: payload}
+	off = make([]int32, nLocal+1)
+	total := uint64(0)
+	for i := 0; i < nLocal; i++ {
+		gap, err := r.uvarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("offset gap %d: %w", i, err)
+		}
+		total += gap
+		if total > uint64(edges) {
+			return nil, nil, fmt.Errorf("offset gaps exceed declared %d edges at node %d", edges, i)
+		}
+		off[i+1] = int32(total)
+	}
+	if total != uint64(edges) {
+		return nil, nil, fmt.Errorf("offset gaps sum to %d, header declares %d edges", total, edges)
+	}
+	adj = make([]int32, edges)
+	prevFirst := int64(0)
+	for i := 0; i < nLocal; i++ {
+		d := int(off[i+1] - off[i])
+		if d == 0 {
+			continue
+		}
+		delta, err := r.svarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %d first neighbor: %w", i, err)
+		}
+		v := prevFirst + delta
+		if v < 0 || v > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("row %d first neighbor %d out of node-id range", i, v)
+		}
+		prevFirst = v
+		adj[off[i]] = int32(v)
+		for j := 1; j < d; j++ {
+			gap, err := r.uvarint()
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d neighbor gap %d: %w", i, j, err)
+			}
+			v += int64(gap)
+			if v > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("row %d neighbor %d out of node-id range", i, v)
+			}
+			adj[off[i]+int32(j)] = int32(v)
+		}
+	}
+	if r.rest() != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes after adjacency", r.rest())
+	}
+	return off, adj, nil
+}
+
+// encodeCSRShardV3 renders one complete v3 shard file image: magic,
+// codec flag byte, counts, payload length, payload. Under
+// SpillCompressDeflate the frame is applied per shard only when it
+// actually shrinks the payload, and the flag byte records the choice;
+// SpillCompressNone callers must use the v1 writer instead.
+func encodeCSRShardV3(off, adj []int32, comp SpillCompression) ([]byte, error) {
+	nLocal := len(off) - 1
+	base := off[0]
+	edges := int(off[nLocal] - base)
+	payload := encodeCSRPayload(off, adj[base:off[nLocal]])
+	codec := codecRaw
+	switch comp {
+	case SpillCompressVarint:
+	case SpillCompressDeflate:
+		if framed, err := deflateBytes(payload); err == nil && len(framed) < len(payload) {
+			payload, codec = framed, codecDeflate
+		}
+	case SpillCompressZstd:
+		return nil, fmt.Errorf("graphgen: zstd is a reserved codec (ID %d) with no coder in this build", codecZstd)
+	default:
+		return nil, fmt.Errorf("graphgen: %v is not a v3 shard compression", comp)
+	}
+	out := make([]byte, 0, len(csrMagicV3)+13+len(payload))
+	out = append(out, csrMagicV3...)
+	out = append(out, codec)
+	out = binary.LittleEndian.AppendUint32(out, uint32(nLocal))
+	out = binary.LittleEndian.AppendUint32(out, uint32(edges))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// deflateBytes wraps b in a DEFLATE stream at the default level.
+func deflateBytes(b []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// inflateBytes inverts deflateBytes, refusing to expand past limit
+// bytes so a corrupt frame cannot balloon memory.
+func inflateBytes(b []byte, limit int64) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(b))
+	defer fr.Close()
+	out, err := io.ReadAll(io.LimitReader(fr, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(out)) > limit {
+		return nil, fmt.Errorf("frame inflates past the %d-byte payload bound", limit)
+	}
+	return out, nil
+}
+
+// maxUvarintLen32 bounds one encoded entry, sizing the inflate guard.
+const maxUvarintLen32 = 5
+
+// decodeCSRShard parses a whole shard file image of either generation
+// — "GMKCSR1\n" raw uint32s or "GMKCSR2\n" varint — returning the
+// rebased offsets (off[0] == 0) and the global sorted adjacency. It is
+// the single decode entry point LoadShard and the fuzz harness share.
+func decodeCSRShard(data []byte) (off, adj []int32, err error) {
+	switch {
+	case len(data) >= len(csrMagic) && string(data[:len(csrMagic)]) == csrMagic:
+		return decodeCSRShardV1(data[len(csrMagic):])
+	case len(data) >= len(csrMagicV3) && string(data[:len(csrMagicV3)]) == csrMagicV3:
+		return decodeCSRShardV3(data[len(csrMagicV3):])
+	default:
+		return nil, nil, fmt.Errorf("not a CSR shard file")
+	}
+}
+
+// decodeCSRShardV1 parses the legacy raw-uint32 body.
+func decodeCSRShardV1(body []byte) (off, adj []int32, err error) {
+	if len(body) < 8 {
+		return nil, nil, fmt.Errorf("truncated shard header (%d bytes)", len(body))
+	}
+	nLocal := int(binary.LittleEndian.Uint32(body[0:4]))
+	edges := int(binary.LittleEndian.Uint32(body[4:8]))
+	body = body[8:]
+	want := 4 * (int64(nLocal) + 1 + int64(edges))
+	if int64(len(body)) != want {
+		return nil, nil, fmt.Errorf("truncated shard (%d bytes, want %d)", len(body), want)
+	}
+	off = make([]int32, nLocal+1)
+	for i := range off {
+		off[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	// The writer rebases offsets; anything else is corruption that
+	// would otherwise surface as silent wrong adjacency slices.
+	if off[0] != 0 {
+		return nil, nil, fmt.Errorf("shard offsets start at %d, not 0", off[0])
+	}
+	for i := 1; i <= nLocal; i++ {
+		if off[i] < off[i-1] {
+			return nil, nil, fmt.Errorf("shard offsets not monotone at node %d", i)
+		}
+	}
+	if int(off[nLocal]) != edges {
+		return nil, nil, fmt.Errorf("shard offsets end at %d, header declares %d edges", off[nLocal], edges)
+	}
+	body = body[4*(nLocal+1):]
+	adj = make([]int32, edges)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		if adj[i] < 0 {
+			return nil, nil, fmt.Errorf("adjacency entry %d out of node-id range", i)
+		}
+	}
+	return off, adj, nil
+}
+
+// decodeCSRShardV3 parses the varint body: codec byte, counts, payload
+// length, then the (possibly DEFLATE-framed) varint payload.
+func decodeCSRShardV3(body []byte) (off, adj []int32, err error) {
+	if len(body) < 13 {
+		return nil, nil, fmt.Errorf("truncated v3 shard header (%d bytes)", len(body))
+	}
+	codec := body[0]
+	nLocal := int(binary.LittleEndian.Uint32(body[1:5]))
+	edges := int(binary.LittleEndian.Uint32(body[5:9]))
+	payloadLen := int(binary.LittleEndian.Uint32(body[9:13]))
+	payload := body[13:]
+	if len(payload) != payloadLen {
+		return nil, nil, fmt.Errorf("payload is %d bytes, header declares %d", len(payload), payloadLen)
+	}
+	if nLocal > math.MaxInt32 || edges > math.MaxInt32 || nLocal < 0 || edges < 0 {
+		return nil, nil, fmt.Errorf("header counts out of range (%d nodes, %d edges)", nLocal, edges)
+	}
+	// A valid raw payload cannot exceed one max-width varint per
+	// stored value; reject oversized counts before allocating.
+	rawBound := int64(nLocal+edges) * maxUvarintLen32
+	if int64(payloadLen) > rawBound+maxUvarintLen32 {
+		return nil, nil, fmt.Errorf("payload of %d bytes exceeds the %d-byte bound for %d nodes, %d edges",
+			payloadLen, rawBound, nLocal, edges)
+	}
+	switch codec {
+	case codecRaw:
+	case codecDeflate:
+		// DEFLATE expands at most ~1032x, so capping the inflate at
+		// min(rawBound, 1032*|frame|) admits every legitimate frame
+		// while keeping a crafted bomb from ballooning memory.
+		limit := rawBound
+		if frameBound := 1032*int64(len(payload)) + 64; frameBound < limit {
+			limit = frameBound
+		}
+		payload, err = inflateBytes(payload, limit)
+		if err != nil {
+			return nil, nil, fmt.Errorf("deflate frame: %w", err)
+		}
+	case codecZstd:
+		return nil, nil, fmt.Errorf("shard uses the reserved zstd codec (ID %d), which this build cannot decode", codecZstd)
+	default:
+		return nil, nil, fmt.Errorf("unknown shard codec %d", codec)
+	}
+	off, adj, err = decodeCSRPayload(payload, nLocal, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return off, adj, nil
+}
+
+// appendPairBlock appends one self-delimiting delta-varint block of
+// (from, to) pairs to dst: a uvarint pair count, then per pair the
+// zigzag deltas of from and to against the previous pair (both
+// starting from 0 at the block head). The spill sink's temp run files
+// are a concatenation of these blocks, one per drain.
+func appendPairBlock(dst []byte, from, to []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(from)))
+	prevF, prevT := int64(0), int64(0)
+	for i := range from {
+		f, t := int64(from[i]), int64(to[i])
+		dst = binary.AppendUvarint(dst, zigzag(f-prevF))
+		dst = binary.AppendUvarint(dst, zigzag(t-prevT))
+		prevF, prevT = f, t
+	}
+	return dst
+}
+
+// decodePairBlocks parses a concatenation of appendPairBlock blocks
+// back into (from, to) slices, rejecting truncated or out-of-range
+// input.
+func decodePairBlocks(data []byte) (from, to []int32, err error) {
+	r := &byteReader{buf: data}
+	for r.rest() > 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("block count: %w", err)
+		}
+		// Each pair takes at least two bytes; a count past that is a
+		// corrupt header, not a short file.
+		if n > uint64(r.rest()) {
+			return nil, nil, fmt.Errorf("block declares %d pairs with %d bytes left", n, r.rest())
+		}
+		prevF, prevT := int64(0), int64(0)
+		for i := uint64(0); i < n; i++ {
+			df, err := r.svarint()
+			if err != nil {
+				return nil, nil, fmt.Errorf("pair %d from: %w", i, err)
+			}
+			dt, err := r.svarint()
+			if err != nil {
+				return nil, nil, fmt.Errorf("pair %d to: %w", i, err)
+			}
+			prevF += df
+			prevT += dt
+			if prevF < 0 || prevF > math.MaxInt32 || prevT < 0 || prevT > math.MaxInt32 {
+				return nil, nil, fmt.Errorf("pair %d (%d, %d) out of node-id range", i, prevF, prevT)
+			}
+			from = append(from, int32(prevF))
+			to = append(to, int32(prevT))
+		}
+	}
+	return from, to, nil
+}

@@ -1,0 +1,486 @@
+package graphgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"gmark/internal/schema"
+	"gmark/internal/usecases"
+)
+
+// randomCSR builds a sorted random CSR block covering nLocal nodes.
+func randomCSR(rng *rand.Rand, nLocal, maxDeg, maxNode int) (off, adj []int32) {
+	off = make([]int32, nLocal+1)
+	for i := 0; i < nLocal; i++ {
+		deg := rng.Intn(maxDeg + 1)
+		row := make([]int32, deg)
+		for j := range row {
+			row[j] = int32(rng.Intn(maxNode))
+		}
+		slices.Sort(row)
+		adj = append(adj, row...)
+		off[i+1] = off[i] + int32(deg)
+	}
+	return off, adj
+}
+
+// TestCSRPayloadRoundTrip: encode/decode over random sorted CSR blocks
+// must be the identity, for every codec.
+func TestCSRPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nLocal := rng.Intn(40)
+		off, adj := randomCSR(rng, nLocal, 12, 1<<20)
+		for _, comp := range []SpillCompression{SpillCompressVarint, SpillCompressDeflate} {
+			img, err := encodeCSRShardV3(off, adj, comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOff, gotAdj, err := decodeCSRShard(img)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, comp, err)
+			}
+			if !slices.Equal(gotOff, off) || !slices.Equal(gotAdj, adj) {
+				t.Fatalf("trial %d %v: round trip mismatch", trial, comp)
+			}
+		}
+	}
+}
+
+// TestCSRPayloadRebasing: the encoder takes unrebased offsets (a
+// mid-graph shard slice) and the decoder returns rebased ones.
+func TestCSRPayloadRebasing(t *testing.T) {
+	off := []int32{100, 102, 102, 105}
+	adj := []int32{7, 9, 1, 4, 8}
+	img, err := encodeCSRShardV3(off, append(make([]int32, 100), adj...), SpillCompressVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOff, gotAdj, err := decodeCSRShard(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotOff, []int32{0, 2, 2, 5}) || !slices.Equal(gotAdj, adj) {
+		t.Fatalf("got %v %v", gotOff, gotAdj)
+	}
+}
+
+// TestDeflateFrameOnlyWhenSmaller: the codec byte must record raw when
+// the DEFLATE frame does not shrink the payload (tiny/incompressible
+// shards) and deflate when it does.
+func TestDeflateFrameOnlyWhenSmaller(t *testing.T) {
+	tiny, err := encodeCSRShardV3([]int32{0, 1}, []int32{3}, SpillCompressDeflate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec := tiny[len(csrMagicV3)]; codec != codecRaw {
+		t.Fatalf("tiny shard framed with codec %d; DEFLATE cannot shrink 2 bytes", codec)
+	}
+
+	// A large regular block compresses well, so the frame must be kept.
+	off := make([]int32, 4097)
+	adj := make([]int32, 0, 4096*4)
+	for i := 0; i < 4096; i++ {
+		off[i+1] = off[i] + 4
+		base := int32(i * 8)
+		adj = append(adj, base, base+1, base+2, base+3)
+	}
+	big, err := encodeCSRShardV3(off, adj, SpillCompressDeflate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec := big[len(csrMagicV3)]; codec != codecDeflate {
+		t.Fatalf("regular 16K-edge shard kept codec %d; expected a winning DEFLATE frame", codec)
+	}
+	raw, err := encodeCSRShardV3(off, adj, SpillCompressVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) >= len(raw) {
+		t.Fatalf("deflate image %d bytes >= raw image %d", len(big), len(raw))
+	}
+	gotOff, gotAdj, err := decodeCSRShard(big)
+	if err != nil || !slices.Equal(gotOff, off) || !slices.Equal(gotAdj, adj) {
+		t.Fatalf("deflate round trip: %v", err)
+	}
+}
+
+// TestParseSpillCompression: names round-trip, zstd and unknown names
+// are clear errors.
+func TestParseSpillCompression(t *testing.T) {
+	for _, name := range []string{"none", "varint", "deflate"} {
+		c, err := ParseSpillCompression(name)
+		if err != nil || c.String() != name {
+			t.Fatalf("ParseSpillCompression(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := ParseSpillCompression("zstd"); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("zstd accepted or unhelpfully rejected: %v", err)
+	}
+	if _, err := ParseSpillCompression("lz4"); err == nil {
+		t.Fatal("unknown compression accepted")
+	}
+	if _, err := NewCSRSpillSinkWith(t.TempDir(), mustUsecase(t, "bib", 100), 0, SpillCompressZstd); err == nil {
+		t.Fatal("zstd sink constructed without error")
+	}
+}
+
+func mustUsecase(t *testing.T, uc string, n int) *schema.GraphConfig {
+	t.Helper()
+	cfg, err := usecases.ByName(uc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestDecodeCSRShardRejectsCorrupt: every mutation of a valid shard
+// image must fail with an error — never panic, never decode wrong
+// adjacency silently.
+func TestDecodeCSRShardRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	off, adj := randomCSR(rng, 20, 6, 1000)
+	img, err := encodeCSRShardV3(off, adj, SpillCompressVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("GMKCSR9\n"), img[8:]...),
+		"header only":     img[:10],
+		"truncated body":  img[:len(img)-3],
+		"trailing bytes":  append(slices.Clone(img), 0, 0),
+		"zstd codec":      mutate(img, len(csrMagicV3), codecZstd),
+		"unknown codec":   mutate(img, len(csrMagicV3), 9),
+		"edges inflated":  mutate(img, len(csrMagicV3)+5, 0xFF),
+		"nLocal inflated": mutate(img, len(csrMagicV3)+1, 0xFF),
+	}
+	for name, data := range cases {
+		if _, _, err := decodeCSRShard(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, _, err := decodeCSRShard(img); err != nil {
+		t.Fatalf("unmutated image failed: %v", err)
+	}
+
+	// The zstd rejection must name the codec, not just fail.
+	if _, _, err := decodeCSRShard(mutate(img, len(csrMagicV3), codecZstd)); err == nil || !strings.Contains(err.Error(), "zstd") {
+		t.Errorf("zstd shard unhelpfully rejected: %v", err)
+	}
+}
+
+func mutate(img []byte, i int, b byte) []byte {
+	out := slices.Clone(img)
+	out[i] = b
+	return out
+}
+
+// TestPairBlocksRoundTrip: the run-file block codec is the identity
+// over multiple appended blocks, and rejects corrupt input.
+func TestPairBlocksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf []byte
+	var wantF, wantT []int32
+	for b := 0; b < 5; b++ {
+		n := rng.Intn(50)
+		from := make([]int32, n)
+		to := make([]int32, n)
+		for i := range from {
+			from[i] = int32(rng.Intn(1 << 28))
+			to[i] = int32(rng.Intn(1 << 28))
+		}
+		buf = appendPairBlock(buf, from, to)
+		wantF = append(wantF, from...)
+		wantT = append(wantT, to...)
+	}
+	gotF, gotT, err := decodePairBlocks(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotF, wantF) || !slices.Equal(gotT, wantT) {
+		t.Fatal("pair blocks round trip mismatch")
+	}
+	if _, _, err := decodePairBlocks(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated pair stream decoded without error")
+	}
+	if _, _, err := decodePairBlocks([]byte{0xFF}); err == nil {
+		t.Error("truncated block count decoded without error")
+	}
+}
+
+// TestV3SpillAtLeastTwiceSmaller is the acceptance bar: for every
+// built-in use case, the default v3 varint spill must be at least 2x
+// smaller on disk than the raw v2 spill of the same instance, and
+// deflate smaller again.
+func TestV3SpillAtLeastTwiceSmaller(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates four instances")
+	}
+	for _, uc := range usecases.Names {
+		cfg := mustUsecase(t, uc, 10_000)
+		g, err := Generate(cfg, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := map[SpillCompression]int64{}
+		for _, comp := range []SpillCompression{SpillCompressNone, SpillCompressVarint, SpillCompressDeflate} {
+			dir := filepath.Join(t.TempDir(), comp.String())
+			if err := WriteCSRSpillFromGraphWith(dir, g, 512, comp); err != nil {
+				t.Fatal(err)
+			}
+			sizes[comp] = treeBytes(t, dir)
+		}
+		if 2*sizes[SpillCompressVarint] > sizes[SpillCompressNone] {
+			t.Errorf("%s: v3 varint %d bytes vs v2 %d — less than 2x smaller", uc, sizes[SpillCompressVarint], sizes[SpillCompressNone])
+		}
+		if sizes[SpillCompressDeflate] >= sizes[SpillCompressVarint] {
+			t.Errorf("%s: deflate %d bytes >= varint %d", uc, sizes[SpillCompressDeflate], sizes[SpillCompressVarint])
+		}
+	}
+}
+
+func treeBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestBinaryPartitionRoundTrip: the binary partitioned sink must load
+// back into exactly the graph the text sink describes, and its index
+// must carry the version and encoding markers.
+func TestBinaryPartitionRoundTrip(t *testing.T) {
+	cfg := mustUsecase(t, "bib", 2000)
+	opt := Options{Seed: 21, Parallelism: 4}
+	g, err := Generate(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "parts")
+	sink, err := NewBinaryPartitionedSink(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Emit(cfg, opt, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.NumEdges() {
+		t.Fatalf("binary sink saw %d edges, Generate made %d", n, g.NumEdges())
+	}
+	idx, err := ReadPartitionIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.FormatVersion != partitionFormatVersion {
+		t.Fatalf("index format_version %d, want %d", idx.FormatVersion, partitionFormatVersion)
+	}
+	for _, p := range idx.Predicates {
+		if p.Encoding != partitionVarintEncoding {
+			t.Fatalf("predicate %s encoding %q", p.Name, p.Encoding)
+		}
+		if !strings.HasSuffix(p.File, ".bin") {
+			t.Fatalf("predicate %s file %q not .bin", p.Name, p.File)
+		}
+	}
+	loaded, err := LoadPartitioned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := g.WriteEdgeList(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("binary partition round trip differs from the generated graph")
+	}
+}
+
+// TestBinaryPartitionDeterministic: byte-identical edge files at any
+// parallelism — the ordered-flush guarantee must survive the stateful
+// delta encoder.
+func TestBinaryPartitionDeterministic(t *testing.T) {
+	cfg := mustUsecase(t, "bib", 1500)
+	var want map[string][]byte
+	for _, par := range []int{1, 4} {
+		dir := filepath.Join(t.TempDir(), "parts")
+		sink, err := NewBinaryPartitionedSink(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Emit(cfg, Options{Seed: 9, Parallelism: par}, sink); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string][]byte{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[e.Name()] = data
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d wrote %d files, want %d", par, len(got), len(want))
+		}
+		for name, data := range want {
+			if !bytes.Equal(got[name], data) {
+				t.Fatalf("parallelism %d: %s differs byte-for-byte", par, name)
+			}
+		}
+	}
+}
+
+// TestFuturePartitionIndexRejected: an index claiming a newer
+// format_version must be refused with a clear error.
+func TestFuturePartitionIndexRejected(t *testing.T) {
+	dir := t.TempDir()
+	err := os.WriteFile(filepath.Join(dir, partitionIndexFile),
+		[]byte(`{"format_version": 99, "nodes": 1, "edges": 0}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPartitionIndex(dir); err == nil || !strings.Contains(err.Error(), "format_version") {
+		t.Fatalf("future partition index: %v", err)
+	}
+	if _, err := LoadPartitioned(dir); err == nil {
+		t.Fatal("future partition index loaded as a graph")
+	}
+}
+
+// TestCorruptBinaryPartitionRejected: a truncated or trailing-garbage
+// binary edge file must fail to load.
+func TestCorruptBinaryPartitionRejected(t *testing.T) {
+	cfg := mustUsecase(t, "bib", 500)
+	dir := filepath.Join(t.TempDir(), "parts")
+	sink, err := NewBinaryPartitionedSink(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(cfg, Options{Seed: 2}, sink); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ReadPartitionIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, p := range idx.Predicates {
+		if p.Edges > 0 {
+			victim = filepath.Join(dir, p.File)
+			break
+		}
+	}
+	orig, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"truncated": orig[:len(orig)-1],
+		"trailing":  append(slices.Clone(orig), 0, 0),
+		"bad magic": append([]byte("GMKPRT9\n"), orig[8:]...),
+	} {
+		if err := os.WriteFile(victim, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPartitioned(dir); err == nil {
+			t.Errorf("%s binary edge file loaded without error", name)
+		}
+	}
+}
+
+// FuzzCSRShardDecode hardens the shard decoder: arbitrary input must
+// produce either an error or a structurally consistent CSR block —
+// offsets rebased and monotone, adjacency exactly off[last] entries —
+// and must never panic.
+func FuzzCSRShardDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	off, adj := randomCSR(rng, 16, 5, 500)
+	for _, comp := range []SpillCompression{SpillCompressVarint, SpillCompressDeflate} {
+		img, err := encodeCSRShardV3(off, adj, comp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		f.Add(img[:len(img)-4])
+	}
+	var v1 bytes.Buffer
+	v1.WriteString(csrMagic)
+	// nLocal=2, edges=2, off {0,1,2}, adj {5,9}.
+	for _, u := range []uint32{2, 2, 0, 1, 2, 5, 9} {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], u)
+		v1.Write(b[:])
+	}
+	f.Add(v1.Bytes())
+	f.Add([]byte(csrMagicV3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off, adj, err := decodeCSRShard(data)
+		if err != nil {
+			return
+		}
+		if len(off) == 0 || off[0] != 0 {
+			t.Fatalf("decoded offsets not rebased: %v", off)
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] < off[i-1] {
+				t.Fatalf("offsets not monotone at %d", i)
+			}
+		}
+		if int(off[len(off)-1]) != len(adj) {
+			t.Fatalf("offsets end at %d, adjacency has %d entries", off[len(off)-1], len(adj))
+		}
+	})
+}
+
+// FuzzPairBlocksDecode hardens the run-file/partition pair codec the
+// same way.
+func FuzzPairBlocksDecode(f *testing.F) {
+	var buf []byte
+	buf = appendPairBlock(buf, []int32{3, 1, 4}, []int32{1, 5, 9})
+	buf = appendPairBlock(buf, []int32{}, []int32{})
+	buf = appendPairBlock(buf, []int32{1 << 30}, []int32{0})
+	f.Add(buf)
+	f.Add(buf[:len(buf)-2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, to, err := decodePairBlocks(data)
+		if err != nil {
+			return
+		}
+		if len(from) != len(to) {
+			t.Fatalf("decoded %d froms, %d tos", len(from), len(to))
+		}
+		for i := range from {
+			if from[i] < 0 || to[i] < 0 {
+				t.Fatalf("pair %d negative after range checks", i)
+			}
+		}
+	})
+}

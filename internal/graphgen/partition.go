@@ -2,6 +2,7 @@ package graphgen
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,11 +20,16 @@ import (
 // the node layout and to fan file reads out in parallel — the layout
 // Xirogiannopoulos & Deshpande's hidden-graph extraction and
 // predicate-partitioned triple stores both load from.
+//
+// FormatVersion absent (or 1) is the original all-text layout;
+// version 2 adds per-predicate binary edge files, each marked by its
+// entry's Encoding field. Readers reject newer versions.
 type PartitionIndex struct {
-	Nodes      int                  `json:"nodes"`
-	Edges      int                  `json:"edges"`
-	Types      []PartitionType      `json:"types"`
-	Predicates []PartitionPredicate `json:"predicates"`
+	FormatVersion int                  `json:"format_version,omitempty"`
+	Nodes         int                  `json:"nodes"`
+	Edges         int                  `json:"edges"`
+	Types         []PartitionType      `json:"types"`
+	Predicates    []PartitionPredicate `json:"predicates"`
 }
 
 // PartitionType is one node type of the layout.
@@ -32,24 +38,47 @@ type PartitionType struct {
 	Count int    `json:"count"`
 }
 
-// PartitionPredicate describes one predicate's edge file.
+// PartitionPredicate describes one predicate's edge file. Encoding is
+// empty for the text "src dst"-per-line layout and "varint" for the
+// binary delta-varint pair layout (format_version 2).
 type PartitionPredicate struct {
-	Name  string `json:"name"`
-	File  string `json:"file"`
-	Edges int    `json:"edges"`
+	Name     string `json:"name"`
+	File     string `json:"file"`
+	Edges    int    `json:"edges"`
+	Encoding string `json:"encoding,omitempty"`
 }
 
 // partitionIndexFile is the index filename inside a partition
 // directory.
 const partitionIndexFile = "index.json"
 
-// PartitionedSink writes one edge-list file per predicate under a
+// partitionFormatVersion is the newest partition-index version this
+// package reads and writes: 1 (or absent) is all-text, 2 adds binary
+// edge files. Text sinks keep writing the legacy version-less index.
+const partitionFormatVersion = 2
+
+// partitionVarintEncoding is the Encoding value of binary delta-varint
+// edge files.
+const partitionVarintEncoding = "varint"
+
+// partitionEdgeMagic heads every binary partition edge file.
+const partitionEdgeMagic = "GMKPRT1\n"
+
+// PartitionedSink writes one edge file per predicate under a
 // directory, plus a JSON index describing the node layout and the
-// per-predicate files. Because the predicate is fixed per file, lines
-// are just "src dst" — smaller than the monolithic edge list and
-// loadable predicate-parallel (see LoadPartitioned).
+// per-predicate files. Because the predicate is fixed per file, each
+// entry is just the (src, dst) pair — smaller than the monolithic
+// edge list and loadable predicate-parallel (see LoadPartitioned).
+// The default mode writes text "src dst" lines; the binary mode
+// (NewBinaryPartitionedSink) writes delta-varint pairs instead, which
+// are severalfold smaller again. The pipeline delivers edges to the
+// sink in a deterministic order for any worker count — emission
+// shards arrive in shard order, sources ascending within a shard — so
+// both modes are byte-deterministic at any parallelism, and the
+// binary deltas stay small by construction.
 type PartitionedSink struct {
 	dir        string
+	binary     bool
 	typeNames  []string
 	typeCounts []int
 	predNames  []string
@@ -59,22 +88,33 @@ type PartitionedSink struct {
 	per     []int
 	edges   int
 	line    []byte
+	prevs   []int64 // binary mode: previous src per predicate
+	prevd   []int64 // binary mode: previous dst per predicate
 	aborted bool
 }
 
-// NewPartitionedSink creates dir (and parents) and opens one edge file
-// per predicate of the configuration's schema.
+// NewPartitionedSink creates dir (and parents) and opens one text edge
+// file per predicate of the configuration's schema.
 func NewPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, error) {
 	typeNames, typeCounts, predNames := resolveLayout(cfg)
-	return newPartitionedSink(dir, typeNames, typeCounts, predNames)
+	return newPartitionedSink(dir, typeNames, typeCounts, predNames, false)
 }
 
-func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNames []string) (*PartitionedSink, error) {
+// NewBinaryPartitionedSink is NewPartitionedSink in binary mode: each
+// predicate's edges are written as delta-varint (src, dst) pairs (the
+// format_version 2 partition layout) instead of text lines.
+func NewBinaryPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, error) {
+	typeNames, typeCounts, predNames := resolveLayout(cfg)
+	return newPartitionedSink(dir, typeNames, typeCounts, predNames, true)
+}
+
+func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNames []string, binary bool) (*PartitionedSink, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	ps := &PartitionedSink{
 		dir:        dir,
+		binary:     binary,
 		typeNames:  typeNames,
 		typeCounts: typeCounts,
 		predNames:  predNames,
@@ -83,14 +123,24 @@ func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNa
 		per:        make([]int, len(predNames)),
 		line:       make([]byte, 0, 32),
 	}
+	if binary {
+		ps.prevs = make([]int64, len(predNames))
+		ps.prevd = make([]int64, len(predNames))
+	}
 	for i := range predNames {
-		f, err := os.Create(filepath.Join(dir, partitionFileName(i, predNames[i])))
+		f, err := os.Create(filepath.Join(dir, partitionFileName(i, predNames[i], binary)))
 		if err != nil {
 			ps.closeAll()
 			return nil, err
 		}
 		ps.files[i] = f
 		ps.ws[i] = bufio.NewWriterSize(f, 1<<18)
+		if binary {
+			if _, err := ps.ws[i].WriteString(partitionEdgeMagic); err != nil {
+				ps.closeAll()
+				return nil, err
+			}
+		}
 	}
 	return ps, nil
 }
@@ -98,7 +148,7 @@ func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNa
 // partitionFileName builds a collision-free filename for one
 // predicate's edges: the index keeps names unique even when
 // sanitizing maps two predicates to the same text.
-func partitionFileName(i int, name string) string {
+func partitionFileName(i int, name string, binary bool) string {
 	var b strings.Builder
 	for _, r := range name {
 		switch {
@@ -108,25 +158,54 @@ func partitionFileName(i int, name string) string {
 			b.WriteByte('_')
 		}
 	}
-	return fmt.Sprintf("edges-%03d-%s.txt", i, b.String())
+	ext := "txt"
+	if binary {
+		ext = "bin"
+	}
+	return fmt.Sprintf("edges-%03d-%s.%s", i, b.String(), ext)
 }
 
 // AddEdge implements EdgeSink.
 func (ps *PartitionedSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
+	ps.per[pred]++
+	ps.edges++
+	if ps.binary {
+		return ps.writePair(pred, src, dst)
+	}
 	b := ps.line[:0]
 	b = strconv.AppendInt(b, int64(src), 10)
 	b = append(b, ' ')
 	b = strconv.AppendInt(b, int64(dst), 10)
 	b = append(b, '\n')
 	ps.line = b
-	ps.per[pred]++
-	ps.edges++
+	_, err := ps.ws[pred].Write(b)
+	return err
+}
+
+// writePair appends one binary delta-varint pair: the zigzag deltas of
+// src and dst against the predicate's previous pair.
+func (ps *PartitionedSink) writePair(pred graph.PredID, src, dst graph.NodeID) error {
+	b := ps.line[:0]
+	b = binary.AppendUvarint(b, zigzag(int64(src)-ps.prevs[pred]))
+	b = binary.AppendUvarint(b, zigzag(int64(dst)-ps.prevd[pred]))
+	ps.line = b
+	ps.prevs[pred], ps.prevd[pred] = int64(src), int64(dst)
 	_, err := ps.ws[pred].Write(b)
 	return err
 }
 
 // AddEdgeBatch implements BatchEdgeSink.
 func (ps *PartitionedSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.NodeID) error {
+	ps.per[pred] += len(srcs)
+	ps.edges += len(srcs)
+	if ps.binary {
+		for i := range srcs {
+			if err := ps.writePair(pred, srcs[i], dsts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	w := ps.ws[pred]
 	for i := range srcs {
 		b := ps.line[:0]
@@ -139,8 +218,6 @@ func (ps *PartitionedSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.No
 			return err
 		}
 	}
-	ps.per[pred] += len(srcs)
-	ps.edges += len(srcs)
 	return nil
 }
 
@@ -170,16 +247,23 @@ func (ps *PartitionedSink) Flush() error {
 		return firstErr
 	}
 	idx := PartitionIndex{Edges: ps.edges}
+	if ps.binary {
+		idx.FormatVersion = partitionFormatVersion
+	}
 	for i, name := range ps.typeNames {
 		idx.Nodes += ps.typeCounts[i]
 		idx.Types = append(idx.Types, PartitionType{Name: name, Count: ps.typeCounts[i]})
 	}
 	for i, name := range ps.predNames {
-		idx.Predicates = append(idx.Predicates, PartitionPredicate{
+		p := PartitionPredicate{
 			Name:  name,
-			File:  partitionFileName(i, name),
+			File:  partitionFileName(i, name, ps.binary),
 			Edges: ps.per[i],
-		})
+		}
+		if ps.binary {
+			p.Encoding = partitionVarintEncoding
+		}
+		idx.Predicates = append(idx.Predicates, p)
 	}
 	return writeJSONFile(filepath.Join(ps.dir, partitionIndexFile), &idx)
 }
@@ -213,7 +297,9 @@ func writeJSONFile(path string, v any) error {
 	return f.Close()
 }
 
-// ReadPartitionIndex reads a partition directory's JSON index.
+// ReadPartitionIndex reads a partition directory's JSON index,
+// rejecting indexes newer than this reader rather than guessing at
+// their layout.
 func ReadPartitionIndex(dir string) (*PartitionIndex, error) {
 	data, err := os.ReadFile(filepath.Join(dir, partitionIndexFile))
 	if err != nil {
@@ -222,6 +308,10 @@ func ReadPartitionIndex(dir string) (*PartitionIndex, error) {
 	var idx PartitionIndex
 	if err := json.Unmarshal(data, &idx); err != nil {
 		return nil, fmt.Errorf("graphgen: partition index: %w", err)
+	}
+	if idx.FormatVersion > partitionFormatVersion {
+		return nil, fmt.Errorf("graphgen: partition index format_version %d is newer than this reader (max %d)",
+			idx.FormatVersion, partitionFormatVersion)
 	}
 	return &idx, nil
 }
@@ -259,7 +349,16 @@ func LoadPartitioned(dir string) (*graph.Graph, error) {
 		wg.Add(1)
 		go func(i int, p PartitionPredicate) {
 			defer wg.Done()
-			srcs, dsts, err := readEdgePairs(filepath.Join(dir, p.File), p.Edges, g.NumNodes())
+			var srcs, dsts []int32
+			var err error
+			switch p.Encoding {
+			case "":
+				srcs, dsts, err = readEdgePairs(filepath.Join(dir, p.File), p.Edges, g.NumNodes())
+			case partitionVarintEncoding:
+				srcs, dsts, err = readEdgePairsBinary(filepath.Join(dir, p.File), p.Edges, g.NumNodes())
+			default:
+				err = fmt.Errorf("unknown edge-file encoding %q", p.Encoding)
+			}
 			parts[i] = part{srcs: srcs, dsts: dsts, err: err}
 		}(i, p)
 	}
@@ -313,4 +412,44 @@ func readEdgePairs(path string, expect, numNodes int) (srcs, dsts []int32, err e
 		dsts = append(dsts, int32(d))
 	}
 	return srcs, dsts, sc.Err()
+}
+
+// readEdgePairsBinary parses one binary delta-varint partition file:
+// the magic header followed by exactly expect zigzag-delta (src, dst)
+// pairs. The index's edge count delimits the stream, so a file that
+// runs short, runs long, or decodes an out-of-range node is rejected
+// rather than silently truncated.
+func readEdgePairsBinary(path string, expect, numNodes int) (srcs, dsts []int32, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(partitionEdgeMagic) || string(data[:len(partitionEdgeMagic)]) != partitionEdgeMagic {
+		return nil, nil, fmt.Errorf("bad magic (want %q)", partitionEdgeMagic)
+	}
+	r := &byteReader{buf: data[len(partitionEdgeMagic):]}
+	srcs = make([]int32, 0, expect)
+	dsts = make([]int32, 0, expect)
+	var ps, pd int64
+	for i := 0; i < expect; i++ {
+		ds, err := r.svarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		dd, err := r.svarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		ps += ds
+		pd += dd
+		if ps < 0 || ps >= int64(numNodes) || pd < 0 || pd >= int64(numNodes) {
+			return nil, nil, fmt.Errorf("pair %d: node id out of range", i)
+		}
+		srcs = append(srcs, int32(ps))
+		dsts = append(dsts, int32(pd))
+	}
+	if r.rest() != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes after %d pairs", r.rest(), expect)
+	}
+	return srcs, dsts, nil
 }

@@ -36,32 +36,68 @@ import (
 //	bits   words x uint64                 bit v set iff node v has an edge
 //
 // — so schema-level pruning (which nodes carry a predicate at all) is
-// answered without touching any shard file. docs/FORMATS.md specifies
-// both formats for external readers.
+// answered without touching any shard file.
+//
+// Since format_version 3 shard files may instead carry the compressed
+// layout ("GMKCSR2\n" magic): a codec flag byte, the same counts, and
+// a delta-varint payload — offsets as gap sequences, adjacency rows as
+// per-row deltas — optionally wrapped per shard in a DEFLATE frame
+// when that shrinks it (see encoding.go). Readers dispatch on the
+// shard magic, so v1/v2 spills keep decoding unchanged.
+// docs/FORMATS.md specifies every layout for external readers.
 const (
 	csrMagic        = "GMKCSR1\n"
+	csrMagicV3      = "GMKCSR2\n"
 	domMagic        = "GMKDOM1\n"
 	csrManifestFile = "csr-index.json"
 
-	// csrFormatVersion is the manifest version this package writes.
-	// Version 1 (or the field absent) is the original layout without
-	// active-domain bitmaps; version 2 adds them. Readers accept every
-	// version up to this one and reject newer manifests.
-	csrFormatVersion = 2
+	// csrFormatVersion is the newest manifest version this package
+	// reads and writes. Version 1 (or the field absent) is the
+	// original layout without active-domain bitmaps; version 2 adds
+	// them; version 3 adds compressed ("GMKCSR2\n") shard files.
+	// Writers record 2 when configured for the raw legacy layout and 3
+	// otherwise; readers accept every version up to this one and
+	// reject newer manifests.
+	csrFormatVersion = 3
 
 	// defaultCSRShardNodes is the node-range width of one spill shard
 	// when the sink is created with shardNodes = 0.
 	defaultCSRShardNodes = 1 << 20
 )
 
-// CSRManifest is the JSON manifest of a CSR spill directory.
+// CSRManifest is the JSON manifest of a CSR spill directory. Encoding
+// (format_version >= 3) records the writer's shard-compression
+// setting — "varint" or "deflate" — as a hint for tooling; readers
+// must still dispatch on each shard file's magic and codec byte, which
+// are authoritative per shard.
 type CSRManifest struct {
 	FormatVersion int                 `json:"format_version,omitempty"`
 	Nodes         int                 `json:"nodes"`
 	ShardNodes    int                 `json:"shard_nodes"`
 	Edges         int                 `json:"edges"`
+	Encoding      string              `json:"encoding,omitempty"`
 	Types         []PartitionType     `json:"types"`
 	Predicates    []CSRSpillPredicate `json:"predicates"`
+}
+
+// manifestVersionFor maps a compression setting to the manifest
+// format_version it produces: the raw legacy layout stays exactly
+// format_version 2 (byte-identical to pre-v3 writers), everything else
+// is 3.
+func manifestVersionFor(comp SpillCompression) int {
+	if comp == SpillCompressNone {
+		return 2
+	}
+	return csrFormatVersion
+}
+
+// manifestEncodingFor is the Encoding field value for a compression
+// setting; empty for the legacy layout, which predates the field.
+func manifestEncodingFor(comp SpillCompression) string {
+	if comp == SpillCompressNone {
+		return ""
+	}
+	return comp.String()
 }
 
 // CSRSpillPredicate lists one predicate's shard files per direction,
@@ -113,6 +149,7 @@ type CSRSpillSink struct {
 	dir        string
 	shardNodes int
 	nRanges    int
+	comp       SpillCompression
 	typeNames  []string
 	typeCounts []int
 	predNames  []string
@@ -139,9 +176,21 @@ type csrRunBuf struct {
 }
 
 // NewCSRSpillSink creates dir (and parents) and returns a spill sink
-// for the configuration. shardNodes is the node-range width of one
-// shard file; 0 selects the default (1M nodes).
+// for the configuration, writing the default delta-varint
+// (format_version 3) shard layout. shardNodes is the node-range width
+// of one shard file; 0 selects the default (1M nodes).
 func NewCSRSpillSink(dir string, cfg *schema.GraphConfig, shardNodes int) (*CSRSpillSink, error) {
+	return NewCSRSpillSinkWith(dir, cfg, shardNodes, SpillCompressVarint)
+}
+
+// NewCSRSpillSinkWith is NewCSRSpillSink with an explicit shard
+// compression setting: SpillCompressNone reproduces the legacy raw
+// format_version 2 layout byte for byte, SpillCompressVarint (the
+// default) and SpillCompressDeflate write format_version 3.
+func NewCSRSpillSinkWith(dir string, cfg *schema.GraphConfig, shardNodes int, comp SpillCompression) (*CSRSpillSink, error) {
+	if err := checkSpillCompression(comp); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -152,6 +201,7 @@ func NewCSRSpillSink(dir string, cfg *schema.GraphConfig, shardNodes int) (*CSRS
 	sink := &CSRSpillSink{
 		dir:        dir,
 		shardNodes: shardNodes,
+		comp:       comp,
 		typeNames:  typeNames,
 		typeCounts: typeCounts,
 		predNames:  predNames,
@@ -257,48 +307,39 @@ func (s *CSRSpillSink) drainRuns() error {
 	return nil
 }
 
-// appendRunPairs appends (from, to) pairs as little-endian uint32s.
+// appendRunPairs appends (from, to) pairs as one self-delimiting
+// delta-varint block (see appendPairBlock). Runs are temporary spill
+// state, but they set the disk high-water mark of a constant-memory
+// streaming run — delta-varint keeps them severalfold below the raw
+// 8-bytes-per-pair layout, since emission walks sources in ascending
+// order and the deltas stay small.
 func appendRunPairs(path string, from, to []int32) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriterSize(f, 1<<16)
-	var buf [8]byte
-	for i := range from {
-		binary.LittleEndian.PutUint32(buf[0:4], uint32(from[i]))
-		binary.LittleEndian.PutUint32(buf[4:8], uint32(to[i]))
-		if _, err := bw.Write(buf[:]); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := bw.Flush(); err != nil {
+	block := appendPairBlock(make([]byte, 0, 3*len(from)+8), from, to)
+	if _, err := f.Write(block); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// readRunPairs loads a run file back into (from, to) slices. It is
-// only called for buffers that spilled, so a missing file means the
-// run data was lost (temp dir deleted externally, Flush run twice) —
-// that must fail the Flush, never silently write a spill with fewer
-// edges than its manifest claims.
+// readRunPairs loads a run file — a concatenation of delta-varint
+// blocks, one per drain — back into (from, to) slices. It is only
+// called for buffers that spilled, so a missing file means the run
+// data was lost (temp dir deleted externally, Flush run twice) — that
+// must fail the Flush, never silently write a spill with fewer edges
+// than its manifest claims.
 func readRunPairs(path string) (from, to []int32, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(data)%8 != 0 {
-		return nil, nil, fmt.Errorf("graphgen: %s: truncated run file (%d bytes)", path, len(data))
-	}
-	n := len(data) / 8
-	from = make([]int32, n)
-	to = make([]int32, n)
-	for i := 0; i < n; i++ {
-		from[i] = int32(binary.LittleEndian.Uint32(data[8*i:]))
-		to[i] = int32(binary.LittleEndian.Uint32(data[8*i+4:]))
+	from, to, err = decodePairBlocks(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graphgen: %s: corrupt run file: %w", path, err)
 	}
 	return from, to, nil
 }
@@ -323,10 +364,11 @@ func (s *CSRSpillSink) Flush() error {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	m := CSRManifest{
-		FormatVersion: csrFormatVersion,
+		FormatVersion: manifestVersionFor(s.comp),
 		Nodes:         s.numNodes,
 		ShardNodes:    s.shardNodes,
 		Edges:         s.edges,
+		Encoding:      manifestEncodingFor(s.comp),
 	}
 	for i, name := range s.typeNames {
 		m.Types = append(m.Types, PartitionType{Name: name, Count: s.typeCounts[i]})
@@ -388,7 +430,7 @@ func (s *CSRSpillSink) flushDirection(p int, backward bool, workers int) ([]CSRS
 		off, adj := graph.BuildAdjacency(hi-lo, from, to, workers)
 		DomainFromOffsets(dom, lo, off)
 		b.from, b.to = nil, nil // release before the next range
-		sh, err := writeShardFile(s.dir, tag, p, r, lo, hi, off, adj)
+		sh, err := writeShardFile(s.dir, tag, p, r, lo, hi, off, adj, s.comp)
 		if err != nil {
 			return nil, "", err
 		}
@@ -471,8 +513,19 @@ func (s *CSRSpillSink) Dir() string { return s.dir }
 // the exact layout OpenCSRSpill reads, reusing the adjacency Freeze
 // already built instead of buffering edges and rebuilding it — the
 // cheap path when a materialized instance exists (cmd/gmark's
-// default). shardNodes 0 selects the default node-range width.
+// default). shardNodes 0 selects the default node-range width; the
+// shards use the default delta-varint (format_version 3) layout.
 func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
+	return WriteCSRSpillFromGraphWith(dir, g, shardNodes, SpillCompressVarint)
+}
+
+// WriteCSRSpillFromGraphWith is WriteCSRSpillFromGraph with an
+// explicit shard compression setting; the shard bytes stay identical
+// to a CSRSpillSink configured the same way (test-pinned).
+func WriteCSRSpillFromGraphWith(dir string, g *graph.Graph, shardNodes int, comp SpillCompression) error {
+	if err := checkSpillCompression(comp); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -480,10 +533,11 @@ func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
 		shardNodes = defaultCSRShardNodes
 	}
 	m := CSRManifest{
-		FormatVersion: csrFormatVersion,
+		FormatVersion: manifestVersionFor(comp),
 		Nodes:         g.NumNodes(),
 		ShardNodes:    shardNodes,
 		Edges:         g.NumEdges(),
+		Encoding:      manifestEncodingFor(comp),
 	}
 	for t := 0; t < g.NumTypes(); t++ {
 		m.Types = append(m.Types, PartitionType{Name: g.TypeName(t), Count: g.TypeCount(t)})
@@ -492,7 +546,7 @@ func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
 		entry := CSRSpillPredicate{Name: g.PredName(int32(p))}
 		for _, tag := range []string{"f", "b"} {
 			off, adj := g.Adjacency(int32(p), tag == "b")
-			shards, err := writeCSRDirection(dir, shardNodes, g.NumNodes(), p, tag, off, adj)
+			shards, err := writeCSRDirection(dir, shardNodes, g.NumNodes(), p, tag, off, adj, comp)
 			if err != nil {
 				return err
 			}
@@ -517,9 +571,9 @@ func WriteCSRSpillFromGraph(dir string, g *graph.Graph, shardNodes int) error {
 // returns its manifest entry; shared by the from-graph writer and the
 // incremental sink's Flush so the filename format and manifest shape
 // cannot drift between the two byte-identical paths.
-func writeShardFile(dir, tag string, p, r, lo, hi int, off, adj []int32) (CSRShard, error) {
+func writeShardFile(dir, tag string, p, r, lo, hi int, off, adj []int32, comp SpillCompression) (CSRShard, error) {
 	name := fmt.Sprintf("csr-%s-%03d-%06d.bin", tag, p, r)
-	edges, err := writeCSRShard(filepath.Join(dir, name), off, adj)
+	edges, err := writeCSRShard(filepath.Join(dir, name), off, adj, comp)
 	if err != nil {
 		return CSRShard{}, err
 	}
@@ -528,14 +582,14 @@ func writeShardFile(dir, tag string, p, r, lo, hi int, off, adj []int32) (CSRSha
 
 // writeCSRDirection writes one direction's node-range shard files
 // from a built CSR.
-func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off, adj []int32) ([]CSRShard, error) {
+func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off, adj []int32, comp SpillCompression) ([]CSRShard, error) {
 	var shards []CSRShard
 	for lo := 0; lo < numNodes || (lo == 0 && numNodes == 0); lo += shardNodes {
 		hi := lo + shardNodes
 		if hi > numNodes {
 			hi = numNodes
 		}
-		sh, err := writeShardFile(dir, tag, p, lo/shardNodes, lo, hi, off[lo:hi+1], adj)
+		sh, err := writeShardFile(dir, tag, p, lo/shardNodes, lo, hi, off[lo:hi+1], adj, comp)
 		if err != nil {
 			return nil, err
 		}
@@ -547,12 +601,20 @@ func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off,
 	return shards, nil
 }
 
-// writeCSRShard writes one shard file. off is the global offset slice
-// of the shard's node range (hi-lo+1 entries); offsets are rebased so
-// the stored off[0] is 0 and adj holds only the shard's entries.
-func writeCSRShard(path string, off []int32, adj []int32) (int, error) {
+// writeCSRShard writes one shard file in the layout comp selects. off
+// is the global offset slice of the shard's node range (hi-lo+1
+// entries); offsets are rebased so the stored off[0] is 0 and adj
+// holds only the shard's entries.
+func writeCSRShard(path string, off []int32, adj []int32, comp SpillCompression) (int, error) {
 	base := off[0]
 	local := adj[base:off[len(off)-1]]
+	if comp != SpillCompressNone {
+		img, err := encodeCSRShardV3(off, adj, comp)
+		if err != nil {
+			return 0, err
+		}
+		return len(local), os.WriteFile(path, img, 0o644)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
@@ -659,33 +721,28 @@ func (c *CSRSpill) LoadDomain(pred int, inverse bool) (dom *bitset.Set, ok bool,
 
 // LoadShard reads one shard file back: off is shard-local (off[0] ==
 // 0, one entry per covered node plus one), adj holds global neighbor
-// ids sorted ascending per node.
+// ids sorted ascending per node. Both shard generations decode
+// transparently — the raw "GMKCSR1\n" layout and the varint
+// "GMKCSR2\n" layout (with or without a compression frame) return the
+// same slices.
 func (c *CSRSpill) LoadShard(sh CSRShard) (off, adj []int32, err error) {
+	off, adj, _, err = c.LoadShardSized(sh)
+	return off, adj, err
+}
+
+// LoadShardSized is LoadShard plus the shard's on-disk byte size, so
+// callers can account compressed disk traffic separately from the
+// decoded bytes they hold resident.
+func (c *CSRSpill) LoadShardSized(sh CSRShard) (off, adj []int32, diskBytes int64, err error) {
 	data, err := os.ReadFile(filepath.Join(c.dir, sh.File))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	if len(data) < len(csrMagic)+8 || string(data[:len(csrMagic)]) != csrMagic {
-		return nil, nil, fmt.Errorf("graphgen: %s: not a CSR shard file", sh.File)
+	off, adj, err = decodeCSRShard(data)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("graphgen: %s: %w", sh.File, err)
 	}
-	body := data[len(csrMagic):]
-	nLocal := int(binary.LittleEndian.Uint32(body[0:4]))
-	edges := int(binary.LittleEndian.Uint32(body[4:8]))
-	body = body[8:]
-	want := 4 * (nLocal + 1 + edges)
-	if len(body) != want {
-		return nil, nil, fmt.Errorf("graphgen: %s: truncated shard (%d bytes, want %d)", sh.File, len(body), want)
-	}
-	off = make([]int32, nLocal+1)
-	for i := range off {
-		off[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
-	}
-	body = body[4*(nLocal+1):]
-	adj = make([]int32, edges)
-	for i := range adj {
-		adj[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
-	}
-	return off, adj, nil
+	return off, adj, int64(len(data)), nil
 }
 
 // ShardFor returns the shard of a direction's shard list covering
