@@ -607,6 +607,52 @@ func BenchmarkSpillEval(b *testing.B) {
 	})
 }
 
+// BenchmarkColdEval measures the cold first pass of the same count
+// over each residency tier: varint shards decoded on demand, raw
+// shards through the zero-copy mapping path, and raw+mmap with the
+// background prefetcher warming two ranges ahead. Every iteration
+// opens a fresh source, so ns/op is the true cold cost including
+// shard I/O. Recorded in BENCH_generate.json.
+func BenchmarkColdEval(b *testing.B) {
+	g := mustGraph(b, "bib", 20_000)
+	q := &query.Query{Rules: []query.Rule{{
+		Head: []query.Var{0, 1},
+		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: regpath.MustParse("authors-.authors")}},
+	}}}
+	dirs := map[graphgen.SpillCompression]string{}
+	for _, comp := range []graphgen.SpillCompression{graphgen.SpillCompressVarint, graphgen.SpillCompressRaw} {
+		dir := b.TempDir()
+		if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, 1024, comp); err != nil {
+			b.Fatal(err)
+		}
+		dirs[comp] = dir
+	}
+	cases := []struct {
+		name     string
+		comp     graphgen.SpillCompression
+		mmap     bool
+		prefetch int
+	}{
+		{"varint-decode", graphgen.SpillCompressVarint, false, 0},
+		{"raw-mmap", graphgen.SpillCompressRaw, true, 0},
+		{"raw-mmap-prefetch", graphgen.SpillCompressRaw, true, 2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src, err := eval.OpenSpillSourceWith(dirs[c.comp], eval.SpillSourceOptions{Mmap: c.mmap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eval.CountOverSpillWith(src, q, eval.Budget{}, eval.EvalOptions{Workers: 1, Prefetch: c.prefetch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSpillLoadV3 measures cold shard decode for each on-disk
 // encoding: every iteration loads and decodes every shard of the
 // instance, so ns/op is the full cold sweep and disk-bytes/op shows

@@ -9,7 +9,7 @@
 //
 // Experiments: table1, table2, table3, table4, fig10, fig11, fig12,
 // qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines,
-// spill-size, par-eval, all.
+// spill-size, par-eval, cold-eval, all.
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 
 	"gmark/internal/eval"
 	"gmark/internal/experiments"
+	"gmark/internal/graphgen"
 )
 
 func main() {
@@ -30,7 +31,7 @@ func main() {
 	log.SetPrefix("gmark-bench: ")
 
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, spill-size, par-eval, all)")
+		exp      = flag.String("exp", "all", "experiment id (table1..4, fig10..12, qgen-scal, gen-scal, gen-shard, query-scal, spill-eval, spill-engines, spill-size, par-eval, cold-eval, all)")
 		full     = flag.Bool("full", false, "paper-scale sweeps (slower)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes override")
@@ -40,9 +41,19 @@ func main() {
 		runs     = flag.Int("runs", 1, "engine runs per measurement; >= 3 enables the paper's cold+warm protocol (Section 7.1)")
 		par      = flag.Int("parallelism", 0, "graph-generation workers (0 = all cores)")
 		evalWork = flag.Int("eval-workers", 0, "evaluation workers for par-eval (0 = all cores)")
+		spillCmp = flag.String("spill-compress", "", "shard encoding for spill-writing experiments (none, raw, varint, deflate; empty = default varint; cold-eval sweeps encodings itself)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	// The same parse/validate path cmd/gmark uses, so an invalid or
+	// reserved encoding (zstd) fails here with the same error text
+	// instead of deep inside an experiment.
+	if *spillCmp != "" {
+		if _, err := graphgen.ParseSpillCompression(*spillCmp); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	opt := experiments.Options{
 		Seed:            *seed,
@@ -52,6 +63,7 @@ func main() {
 		Runs:            *runs,
 		Parallelism:     *par,
 		EvalWorkers:     *evalWork,
+		SpillCompress:   *spillCmp,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
@@ -68,7 +80,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "spill-size", "par-eval", "coverage"}
+		ids = []string{"table1", "table2", "table3", "table4", "fig10", "fig11", "fig12", "qgen-scal", "gen-scal", "gen-shard", "query-scal", "spill-eval", "spill-engines", "spill-size", "par-eval", "cold-eval", "coverage"}
 	}
 	for _, id := range ids {
 		fmt.Printf("\n================ %s ================\n", id)
@@ -166,6 +178,12 @@ func run(id string, opt experiments.Options) error {
 			return err
 		}
 		experiments.RenderSpillEngines(os.Stdout, rows)
+	case "cold-eval":
+		rows, err := experiments.ColdEval(opt)
+		if err != nil {
+			return err
+		}
+		experiments.RenderColdEval(os.Stdout, rows)
 	case "spill-size":
 		rows, err := experiments.SpillSize(opt)
 		if err != nil {

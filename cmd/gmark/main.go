@@ -63,7 +63,7 @@ func main() {
 		partition   = flag.Bool("partition", false, "also write the graph partitioned by predicate (one edge file each + index.json) under <out>/partitioned")
 		partBinary  = flag.Bool("partition-binary", false, "write -partition edge files as binary delta-varint pairs instead of text lines (severalfold smaller; implies -partition)")
 		csrSpill    = flag.Bool("csr-spill", false, "also spill the graph as node-range-sharded binary CSR files under <out>/csr")
-		spillComp   = flag.String("spill-compress", "varint", "CSR spill shard encoding: none (raw v2), varint (delta-varint v3), deflate (varint + per-shard DEFLATE frame when smaller), zstd (reserved)")
+		spillComp   = flag.String("spill-compress", "varint", "CSR spill shard encoding: none (legacy v2), raw (mappable fixed-width v3), varint (delta-varint v3), deflate (varint + per-shard DEFLATE frame when smaller), zstd (reserved)")
 		verify      = flag.Bool("verify", false, "check the generated instance's degree statistics against the configured distributions (materialized path only)")
 		workloadOut = flag.String("workload-out", "", "directory for per-query translated files (default <out>/queries)")
 		syntax      = flag.String("syntax", "sparql,cypher,sql,datalog", "comma-separated translation syntaxes for the per-query files, or empty to skip translation")
@@ -73,11 +73,13 @@ func main() {
 		evalCacheMB = flag.Int("eval-cache-mb", 0, "shard-cache budget in MiB for -eval-spill (0 = default 256 MiB)")
 		evalEngine  = flag.String("eval-engine", "", "evaluate -eval-query with a simulated engine instead of the reference evaluator: P, G, S, D, or \"all\" to compare every engine")
 		evalWorkers = flag.Int("eval-workers", 0, "evaluation workers for -eval-spill (0 = all cores, 1 = sequential; counts are identical for any value)")
+		evalMmap    = flag.Bool("spill-mmap", false, "serve raw (-spill-compress=raw) shards of -eval-spill zero-copy from memory mappings; other encodings fall back to decoding")
+		evalPref    = flag.Int("eval-prefetch", 0, "node ranges to warm ahead of the -eval-spill scan with a background prefetcher (0 = off)")
 	)
 	flag.Parse()
 
 	if *evalSpill != "" {
-		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB, *evalEngine, *evalWorkers); err != nil {
+		if err := evalOverSpill(*evalSpill, *evalQuery, *evalCacheMB, *evalEngine, *evalWorkers, *evalMmap, *evalPref); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -357,7 +359,7 @@ var errMissingEvalQuery = errors.New("-eval-spill requires -eval-query (a regula
 // regular path expression over it — with the reference evaluator or a
 // selected simulated engine — and reports the shard-cache behavior,
 // without ever materializing the instance.
-func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) error {
+func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int, useMmap bool, prefetch int) error {
 	if expr == "" {
 		return errMissingEvalQuery
 	}
@@ -369,16 +371,20 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) er
 		Head: []query.Var{0, 1},
 		Body: []query.Conjunct{{Src: 0, Dst: 1, Expr: e}},
 	}}}
-	src, err := eval.OpenSpillSource(dir, int64(cacheMB)<<20)
+	src, err := eval.OpenSpillSourceWith(dir, eval.SpillSourceOptions{
+		CacheBytes: int64(cacheMB) << 20,
+		Mmap:       useMmap,
+	})
 	if err != nil {
 		return err
 	}
+	opt := eval.EvalOptions{Workers: workers, Prefetch: prefetch}
 	log.Printf("spill: %d nodes, %d edges, %d predicates in %s",
 		src.NumNodes(), src.NumEdges(), len(src.Manifest().Predicates), dir)
 
 	switch engine {
 	case "":
-		n, err := eval.CountOverSpillWith(src, q, eval.Budget{}, eval.EvalOptions{Workers: workers})
+		n, err := eval.CountOverSpillWith(src, q, eval.Budget{}, opt)
 		if err != nil {
 			return err
 		}
@@ -387,7 +393,7 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) er
 		failed := 0
 		for _, eng := range engines.All() {
 			start := time.Now()
-			n, err := engines.EvaluateWith(eng, src, q, eval.Budget{}, workers)
+			n, err := engines.EvaluateOpt(eng, src, q, eval.Budget{}, opt)
 			if err == nil {
 				err = src.Err()
 			}
@@ -406,7 +412,7 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) er
 		if err != nil {
 			return err
 		}
-		n, err := engines.EvaluateWith(eng, src, q, eval.Budget{}, workers)
+		n, err := engines.EvaluateOpt(eng, src, q, eval.Budget{}, opt)
 		if err == nil {
 			err = src.Err()
 		}
@@ -416,8 +422,8 @@ func evalOverSpill(dir, expr string, cacheMB int, engine string, workers int) er
 		log.Printf("engine %s: count(%s) = %d", eng.Name(), expr, n)
 	}
 	st := src.CacheStats()
-	log.Printf("shard cache: %d loads (%d bytes from disk), %d hits (%d deduped in flight), %d evictions, %d domain-rebuild reads, %d bytes resident (peak %d)",
-		st.Loads, st.DiskBytesLoaded, st.Hits, st.DedupHits, st.Evictions, st.DomainRebuilds, st.BytesUsed, st.PeakBytes)
+	log.Printf("shard cache: %d loads (%d prefetched, %d bytes from disk), %d hits (%d deduped in flight), %d evictions, %d domain-rebuild reads, %d bytes resident (%d mapped, peak %d)",
+		st.Loads, st.PrefetchLoads, st.DiskBytesLoaded, st.Hits, st.DedupHits, st.Evictions, st.DomainRebuilds, st.BytesUsed, st.MappedBytes, st.PeakBytes)
 	return nil
 }
 

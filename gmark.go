@@ -145,6 +145,10 @@ const (
 	// GraphSpillCompressZstd is the reserved zstd codec; writers and
 	// readers reject it until a zstd coder ships.
 	GraphSpillCompressZstd = graphgen.SpillCompressZstd
+	// GraphSpillCompressRaw writes 8-byte-aligned fixed-width shards
+	// behind a page-padded header, interpretable in place — the format
+	// OpenGraphSpillWith's Mmap option serves zero-copy.
+	GraphSpillCompressRaw = graphgen.SpillCompressRaw
 )
 
 // Graph sink constructors and loaders.
@@ -163,7 +167,7 @@ var (
 	// explicit shard encoding.
 	NewGraphCSRSpillSinkWith = graphgen.NewCSRSpillSinkWith
 	// ParseGraphSpillCompression parses a -spill-compress style name
-	// ("none", "varint", "deflate", "zstd") into a
+	// ("none", "raw", "varint", "deflate", "zstd") into a
 	// GraphSpillCompression.
 	ParseGraphSpillCompression = graphgen.ParseSpillCompression
 	// LoadPartitionedGraph reads a partition directory back into a
@@ -369,11 +373,19 @@ type (
 	GraphShardCache = eval.ShardCache
 	// EvalOptions tunes evaluation: Workers shards the scan
 	// (0 = GOMAXPROCS, 1 = sequential; results are identical either
-	// way), CacheBytes bounds spill shard residency.
+	// way), CacheBytes bounds spill shard residency, and Prefetch
+	// warms upcoming node ranges in the background.
 	EvalOptions = eval.EvalOptions
+	// GraphSpillSourceOptions configures OpenGraphSpillWith: the shard
+	// cache budget and whether raw shards are served from zero-copy
+	// memory mappings.
+	GraphSpillSourceOptions = eval.SpillSourceOptions
 	// WorkerEngine is a simulated engine whose evaluation can shard
 	// its top-level source scan (engines S and G).
 	WorkerEngine = engines.WorkerEngine
+	// OptionsEngine is a simulated engine that consumes full
+	// EvalOptions — workers plus prefetch — natively (engines S and G).
+	OptionsEngine = engines.OptionsEngine
 )
 
 var (
@@ -412,6 +424,14 @@ func CountWith(g *Graph, q *Query, b Budget, opt EvalOptions) (int64, error) {
 // DefaultSpillCacheBytes.
 func OpenGraphSpill(dir string, cacheBytes int64) (*GraphSpillSource, error) {
 	return eval.OpenSpillSource(dir, cacheBytes)
+}
+
+// OpenGraphSpillWith is OpenGraphSpill with explicit source options;
+// with Mmap set, raw (-spill-compress=raw) shards are served zero-copy
+// from memory mappings on platforms that support it and other
+// encodings fall back to the decoding loader transparently.
+func OpenGraphSpillWith(dir string, opt GraphSpillSourceOptions) (*GraphSpillSource, error) {
+	return eval.OpenSpillSourceWith(dir, opt)
 }
 
 // CountOverSpill evaluates the query over an opened spill and returns
@@ -462,15 +482,16 @@ func CompareEngines(src EvalSource, q *Query, b Budget) []EngineComparison {
 
 // CompareEnginesWith is CompareEngines with explicit evaluation
 // options: engines that support range-sharded evaluation (S and G) run
-// with EvalOptions.Workers, the rest run sequentially, and every count
-// equals its sequential counterpart.
+// with EvalOptions.Workers and pace their own prefetcher, the rest run
+// sequentially (with a background sweep when Prefetch is set), and
+// every count equals its sequential counterpart.
 func CompareEnginesWith(src EvalSource, q *Query, b Budget, opt EvalOptions) []EngineComparison {
 	sticky, _ := src.(interface{ Err() error })
 	all := engines.All()
 	out := make([]EngineComparison, 0, len(all))
 	for _, eng := range all {
 		start := time.Now()
-		n, err := engines.EvaluateWith(eng, src, q, b, opt.Workers)
+		n, err := engines.EvaluateOpt(eng, src, q, b, opt)
 		if err == nil && sticky != nil {
 			err = sticky.Err()
 		}

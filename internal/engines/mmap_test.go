@@ -1,0 +1,62 @@
+package engines
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/usecases"
+)
+
+// TestEnginesOverMmapSpillMatchInMemory: every engine run through
+// EvaluateOpt — with the zero-copy mapping path and the background
+// prefetcher both on — counts pinned equal to its own in-memory
+// evaluation over a raw spill. This is the engines-level half of the
+// mmap acceptance property; eval's TestRawMmapCountsIdentical covers
+// the reference evaluator.
+func TestEnginesOverMmapSpillMatchInMemory(t *testing.T) {
+	cfg, err := usecases.ByName("bib", 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "csr")
+	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, 20, graphgen.SpillCompressRaw); err != nil {
+		t.Fatal(err)
+	}
+	src, err := eval.OpenSpillSourceWith(dir, eval.SpillSourceOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds []string
+	for _, p := range cfg.Schema.Predicates {
+		preds = append(preds, p.Name)
+	}
+	opt := eval.EvalOptions{Workers: 2, Prefetch: 2}
+	for qi, q := range engineSpillQueries(preds) {
+		for _, eng := range All() {
+			want, err := eng.Evaluate(g, q, eval.Budget{})
+			if err != nil {
+				t.Fatalf("q%d engine %s in-memory: %v", qi, eng.Name(), err)
+			}
+			got, err := EvaluateOpt(eng, src, q, eval.Budget{}, opt)
+			if err != nil {
+				t.Fatalf("q%d engine %s mmap spill: %v", qi, eng.Name(), err)
+			}
+			if got != want {
+				t.Errorf("q%d engine %s: mmap spill=%d in-memory=%d", qi, eng.Name(), got, want)
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("sticky spill error: %v", err)
+	}
+	st := src.CacheStats()
+	if st.Loads == 0 {
+		t.Fatal("engines never loaded a shard")
+	}
+}

@@ -32,6 +32,11 @@ type EvalOptions struct {
 	// DefaultSpillCacheBytes). Count itself never opens a spill; the
 	// facade's spill helpers consume this field.
 	CacheBytes int64
+	// Prefetch is how many node ranges ahead of the streaming scan a
+	// background prefetcher keeps warm (0 = no prefetching). It only
+	// applies to sources that implement PrefetchSource — SpillSource
+	// does — and only changes when shard I/O happens, never the count.
+	Prefetch int
 }
 
 // workerCount resolves the Workers convention against the machine.
@@ -62,9 +67,10 @@ func CountWith(g Source, q *query.Query, b Budget, opt EvalOptions) (int64, erro
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
+	defer AcquireSourceReader(g)()
 	tr := newTracker(b)
 	if plans, ok := planStreaming(g, q); ok {
-		return countStreaming(g, q, plans, tr, opt.workerCount())
+		return countStreaming(g, q, plans, tr, opt.workerCount(), opt.Prefetch)
 	}
 	return countJoin(g, q, tr)
 }
@@ -76,6 +82,7 @@ func Tuples(g Source, q *query.Query, b Budget) ([][]int32, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	defer AcquireSourceReader(g)()
 	tr := newTracker(b)
 	set, err := joinTuples(g, q, tr)
 	if err != nil {
@@ -220,7 +227,7 @@ func newScanState(n int) *scanState {
 // merge deterministically afterwards, so the parallel count equals the
 // sequential one exactly. A Boolean witness flips a shared stop flag so
 // every worker quits early, mirroring the sequential early return.
-func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker, workers int) (int64, error) {
+func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker, workers, prefetch int) (int64, error) {
 	n := g.NumNodes()
 	arity := q.Arity()
 
@@ -239,10 +246,18 @@ func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker, w
 		workers = len(ranges)
 	}
 
+	// The prefetcher warms only the ranges that survived the
+	// active-domain filter — the ones the scan will actually visit —
+	// and is paced by the scan position so it never runs more than
+	// `prefetch` ranges ahead of the slowest consumer.
+	pf := NewPrefetcher(g, prefetchPreds(plans), ranges, prefetch)
+	defer pf.Close()
+
 	var stop atomic.Bool
 	if workers <= 1 {
 		st := newScanState(n)
-		for _, rg := range ranges {
+		for i, rg := range ranges {
+			pf.Advance(i)
 			if err := scanRange(g, plans, filters, rg, st, tr, &stop); err != nil {
 				return 0, err
 			}
@@ -268,6 +283,7 @@ func countStreaming(g Source, q *query.Query, plans []streamPlan, tr *tracker, w
 				if i >= len(ranges) || stop.Load() {
 					return
 				}
+				pf.Advance(i)
 				if err := scanRange(g, plans, filters, ranges[i], st, tr, &stop); err != nil {
 					errs[w] = err
 					stop.Store(true)

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package eval
+
+import "fmt"
+
+// mmapSupported reports whether this platform serves raw shards from a
+// memory mapping; this build does not, so the raw loader reads the
+// whole file into a slice and interprets the same image in place —
+// still zero decode work, at the cost of one copy through the page
+// cache.
+const mmapSupported = false
+
+// mapShardFile is unreachable when mmapSupported is false; it exists
+// so the mmap call sites compile on every platform.
+func mapShardFile(path string) ([]byte, func(), error) {
+	return nil, nil, fmt.Errorf("eval: mmap is not supported on this platform")
+}

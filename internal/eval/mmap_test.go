@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"gmark/internal/graphgen"
+	"gmark/internal/usecases"
+)
+
+// openRaw opens a spill with the zero-copy path enabled, optionally
+// forcing the portable read-into-slice fallback instead of mmap.
+func openRaw(t *testing.T, dir string, forceRead bool) *SpillSource {
+	t.Helper()
+	src, err := OpenSpillSourceWith(dir, SpillSourceOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.forceRead = forceRead
+	return src
+}
+
+// TestRawMmapCountsIdentical is the zero-copy acceptance property: a
+// raw (-spill-compress=raw) spill served from memory mappings — and
+// from the portable fallback reader — counts pinned equal to the
+// in-memory evaluator for every built-in use case at shard widths 1,
+// 7, and the default. Run with -race in CI.
+func TestRawMmapCountsIdentical(t *testing.T) {
+	for _, uc := range usecases.Names {
+		for _, width := range []int{1, 7, 0} {
+			size := 150
+			t.Run(fmt.Sprintf("%s/width=%d", uc, width), func(t *testing.T) {
+				t.Parallel()
+				g, dir := buildSpillComp(t, uc, size, width, graphgen.SpillCompressRaw)
+				cfg, err := usecases.ByName(uc, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred := cfg.Schema.Predicates[0].Name
+				for _, expr := range []string{pred, pred + "-." + pred, "(" + pred + ")*"} {
+					q := chainQuery(t, expr)
+					want, err := Count(g, q, Budget{})
+					if err != nil {
+						t.Fatalf("in-memory %s: %v", expr, err)
+					}
+					for _, forceRead := range []bool{false, true} {
+						src := openRaw(t, dir, forceRead)
+						got, err := CountOverSpillWith(src, q, Budget{}, EvalOptions{Workers: 2, Prefetch: 2})
+						if err != nil {
+							t.Fatalf("forceRead=%v %s: %v", forceRead, expr, err)
+						}
+						if got != want {
+							t.Errorf("forceRead=%v count(%s) = %d, in-memory = %d", forceRead, expr, got, want)
+						}
+						st := src.CacheStats()
+						if mmapSupported && !forceRead && st.MappedBytes == 0 {
+							t.Errorf("mmap path served count(%s) with no mapped bytes (%+v)", expr, st)
+						}
+						if (forceRead || !mmapSupported) && st.MappedBytes != 0 {
+							t.Errorf("fallback path reported %d mapped bytes", st.MappedBytes)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMmapEvictionReleasesMappings: evicting mapped entries — by
+// budget pressure and by Purge — must return MappedBytes to zero, the
+// observable half of the munmap contract (the syscall itself is the
+// release closure the accounting is keyed on).
+func TestMmapEvictionReleasesMappings(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	_, dir := buildSpillComp(t, "bib", 400, 25, graphgen.SpillCompressRaw)
+
+	// A budget far below the working set forces evictions mid-scan.
+	src, err := OpenSpillSourceWith(dir, SpillSourceOptions{Mmap: true, CacheBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := chainQuery(t, "authors-.authors")
+	if _, err := CountOverSpill(src, q, Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	st := src.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("tight budget evicted nothing (%+v)", st)
+	}
+	if st.MappedBytes != st.BytesUsed {
+		t.Errorf("all-raw spill: mapped %d != resident %d", st.MappedBytes, st.BytesUsed)
+	}
+
+	src.cache.Purge()
+	st = src.CacheStats()
+	if st.MappedBytes != 0 || st.BytesUsed != 0 {
+		t.Errorf("after Purge: mapped %d, resident %d; want 0, 0", st.MappedBytes, st.BytesUsed)
+	}
+
+	// The spill must still be readable after a full purge: evicted
+	// mappings reload on demand.
+	if _, err := CountOverSpill(src, q, Budget{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapEvictionRetiresUnderReader: an eviction that races an open
+// reader bracket must retire the mapping instead of unmapping it, and
+// the last reader's release must reclaim everything retired.
+func TestMmapEvictionRetiresUnderReader(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	_, dir := buildSpillComp(t, "bib", 200, 20, graphgen.SpillCompressRaw)
+	src, err := OpenSpillSourceWith(dir, SpillSourceOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountOverSpill(src, chainQuery(t, "authors"), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+
+	release := src.AcquireReader()
+	src.cache.Purge()
+	src.cache.mu.Lock()
+	retired := len(src.cache.retired)
+	src.cache.mu.Unlock()
+	if retired == 0 {
+		t.Fatal("purge under an open reader bracket retired no mappings")
+	}
+
+	release()
+	src.cache.mu.Lock()
+	retired = len(src.cache.retired)
+	readers := src.cache.readers
+	src.cache.mu.Unlock()
+	if retired != 0 || readers != 0 {
+		t.Errorf("after last release: %d retired, %d readers; want 0, 0", retired, readers)
+	}
+	// release is idempotent (sync.Once); a double call must not
+	// corrupt the reader count.
+	release()
+	src.cache.mu.Lock()
+	readers = src.cache.readers
+	src.cache.mu.Unlock()
+	if readers != 0 {
+		t.Errorf("double release drove readers to %d", readers)
+	}
+}
+
+// TestMmapMixedSpillFallsBack: the Mmap option on a varint spill must
+// transparently use the decoding loader — same counts, nothing mapped.
+func TestMmapMixedSpillFallsBack(t *testing.T) {
+	g, dir := buildSpillComp(t, "bib", 200, 20, graphgen.SpillCompressVarint)
+	q := chainQuery(t, "authors-.authors")
+	want, err := Count(g, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := openRaw(t, dir, false)
+	got, err := CountOverSpill(src, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("count = %d, in-memory = %d", got, want)
+	}
+	if st := src.CacheStats(); st.MappedBytes != 0 {
+		t.Errorf("varint spill mapped %d bytes", st.MappedBytes)
+	}
+}

@@ -1,0 +1,161 @@
+package eval
+
+import "sync"
+
+// Prefetcher warms upcoming node ranges of a range-ordered scan on a
+// single background goroutine, overlapping shard I/O — mmap plus
+// madvise for raw shards, read-and-decode for varint/deflate ones —
+// with evaluation of the current range. It is paced by the scan: each
+// Advance(i) extends the warm window to the `ahead` ranges after i, so
+// the prefetcher stays a bounded distance in front of the slowest
+// consumer instead of racing through the whole spill; Sweep removes
+// the pacing for engines without a range cursor. Loads go through the
+// source's singleflight shard cache, so a prefetch and a concurrent
+// demand miss of the same shard cost one file read between them.
+//
+// The zero of the API is nil: NewPrefetcher returns nil whenever
+// prefetching cannot help, and every method is a no-op on a nil
+// receiver, so call sites wire it unconditionally.
+type Prefetcher struct {
+	src    PrefetchSource
+	preds  []PredDir
+	ranges []NodeRange
+	ahead  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	target int // prefetch ranges[next:target], then wait
+	next   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPrefetcher starts a prefetcher over the scan's ranges (in scan
+// order) for the (predicate, direction) pairs the plans touch. It
+// returns nil — a valid no-op receiver — when ahead <= 0, the source
+// cannot prefetch, there is nothing to hint, or the scan has fewer
+// than two ranges.
+func NewPrefetcher(g Source, preds []PredDir, ranges []NodeRange, ahead int) *Prefetcher {
+	src, ok := g.(PrefetchSource)
+	if !ok || ahead <= 0 || len(preds) == 0 || len(ranges) < 2 {
+		return nil
+	}
+	p := &Prefetcher{src: src, preds: preds, ranges: ranges, ahead: ahead}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// run is the background loop: warm the next unwarmed range whenever
+// the window allows, sleep otherwise.
+func (p *Prefetcher) run() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		for !p.closed && p.next >= p.target {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		rg := p.ranges[p.next]
+		p.next++
+		p.mu.Unlock()
+		p.src.PrefetchRange(rg, p.preds)
+		p.mu.Lock()
+		p.cond.Broadcast() // progress, for waitIdle
+	}
+}
+
+// waitIdle blocks until the background goroutine has warmed the whole
+// current window (or the prefetcher closed); tests use it to observe a
+// quiesced window without racing Close's prompt shutdown.
+func (p *Prefetcher) waitIdle() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for p.next < p.target && !p.closed {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Advance tells the prefetcher the scan is starting ranges[i], keeping
+// the following `ahead` ranges warming. The window only ever grows —
+// concurrent workers on an atomic cursor may report out of order — and
+// an i at or past the already-covered window is a cheap no-op.
+func (p *Prefetcher) Advance(i int) {
+	if p == nil {
+		return
+	}
+	t := i + 1 + p.ahead
+	if t > len(p.ranges) {
+		t = len(p.ranges)
+	}
+	p.mu.Lock()
+	if t > p.target {
+		p.target = t
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Sweep removes the pacing window: the background goroutine warms
+// every remaining range in scan order, one at a time. This is the mode
+// for evaluations with no range cursor to pace by (engines P and D,
+// single-call full scans); the sweep stays bounded by its single
+// goroutine and the shard cache's byte budget.
+func (p *Prefetcher) Sweep() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.ranges) > p.target {
+		p.target = len(p.ranges)
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// prefetchPreds collects the distinct (predicate, direction) pairs the
+// streaming plans can touch — exactly the shards a range's scan may
+// demand-load, so the prefetcher warms nothing the scan cannot use.
+func prefetchPreds(plans []streamPlan) []PredDir {
+	seen := make(map[symbolID]struct{})
+	var out []PredDir
+	for _, p := range plans {
+		for _, e := range p.exprs {
+			for _, path := range e.paths {
+				for _, sym := range path {
+					if _, ok := seen[sym]; ok {
+						continue
+					}
+					seen[sym] = struct{}{}
+					out = append(out, PredDir{Pred: sym.pred, Inv: sym.inv})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Close stops the prefetcher and waits for the in-flight range (if
+// any) to finish loading, so no prefetch I/O outlives the evaluation
+// that asked for it. Close is idempotent and safe on nil.
+func (p *Prefetcher) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+)
+
+// recordingSource is a PrefetchSource that records the ranges warmed,
+// backed by a trivial in-memory Source.
+type recordingSource struct {
+	n  int
+	mu sync.Mutex
+	rg []NodeRange
+}
+
+func (r *recordingSource) NumNodes() int                                      { return r.n }
+func (r *recordingSource) PredIndex(string) graph.PredID                      { return 0 }
+func (r *recordingSource) Neighbors(graph.NodeID, graph.PredID, bool) []int32 { return nil }
+
+func (r *recordingSource) PrefetchRange(rg NodeRange, preds []PredDir) {
+	r.mu.Lock()
+	r.rg = append(r.rg, rg)
+	r.mu.Unlock()
+}
+
+func (r *recordingSource) warmed() []NodeRange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]NodeRange(nil), r.rg...)
+}
+
+func testRanges(n int) []NodeRange {
+	out := make([]NodeRange, n)
+	for i := range out {
+		out[i] = NodeRange{Lo: int32(i * 10), Hi: int32(i*10 + 10)}
+	}
+	return out
+}
+
+// TestPrefetcherNilIsNoop: every constructor degenerate case returns
+// nil, and nil methods are safe.
+func TestPrefetcherNilIsNoop(t *testing.T) {
+	src := &recordingSource{n: 100}
+	preds := []PredDir{{Pred: 0}}
+	ranges := testRanges(10)
+	cases := map[string]*Prefetcher{
+		"ahead=0":      NewPrefetcher(src, preds, ranges, 0),
+		"no preds":     NewPrefetcher(src, nil, ranges, 2),
+		"one range":    NewPrefetcher(src, preds, ranges[:1], 2),
+		"plain source": NewPrefetcher(struct{ Source }{src}, preds, ranges, 2),
+	}
+	for name, pf := range cases {
+		if pf != nil {
+			t.Errorf("%s: want nil prefetcher", name)
+		}
+	}
+	var pf *Prefetcher
+	pf.Advance(3)
+	pf.Sweep()
+	pf.Close()
+	if got := src.warmed(); len(got) != 0 {
+		t.Errorf("nil prefetchers warmed %v", got)
+	}
+}
+
+// TestPrefetcherAdvanceWindow: Advance(i) warms exactly the `ahead`
+// ranges after i, in order, and never past the end.
+func TestPrefetcherAdvanceWindow(t *testing.T) {
+	src := &recordingSource{n: 100}
+	ranges := testRanges(10)
+	pf := NewPrefetcher(src, []PredDir{{Pred: 0}}, ranges, 3)
+	if pf == nil {
+		t.Fatal("prefetcher unexpectedly nil")
+	}
+	pf.Advance(0) // window: ranges[0:4]
+	pf.waitIdle()
+	got := src.warmed()
+	if len(got) != 4 {
+		t.Fatalf("Advance(0) with ahead=3 warmed %d ranges, want 4: %v", len(got), got)
+	}
+	for i, rg := range got {
+		if rg != ranges[i] {
+			t.Errorf("warm order [%d] = %v, want %v", i, rg, ranges[i])
+		}
+	}
+
+	pf.Close()
+
+	// Advancing backwards or re-advancing must not re-warm.
+	src2 := &recordingSource{n: 100}
+	pf = NewPrefetcher(src2, []PredDir{{Pred: 0}}, ranges, 2)
+	pf.Advance(5)
+	pf.Advance(2) // out-of-order report from a slower worker: no-op
+	pf.Advance(9) // clamped to len(ranges)
+	pf.waitIdle()
+	pf.Close()
+	got = src2.warmed()
+	if len(got) != len(ranges) {
+		t.Fatalf("warmed %d ranges, want all %d", len(got), len(ranges))
+	}
+}
+
+// TestPrefetcherSweep: Sweep warms every range exactly once.
+func TestPrefetcherSweep(t *testing.T) {
+	src := &recordingSource{n: 100}
+	ranges := testRanges(7)
+	pf := NewPrefetcher(src, []PredDir{{Pred: 0}}, ranges, 1)
+	pf.Sweep()
+	pf.waitIdle()
+	pf.Close()
+	got := src.warmed()
+	if len(got) != len(ranges) {
+		t.Fatalf("sweep warmed %d ranges, want %d", len(got), len(ranges))
+	}
+	pf.Close() // idempotent
+}
+
+// TestSpillPrefetchRangeLoadsShards: SpillSource.PrefetchRange pulls a
+// range's shards through the cache attributed as prefetch loads, and a
+// later demand read of the same range is a pure cache hit.
+func TestSpillPrefetchRangeLoadsShards(t *testing.T) {
+	_, dir := buildSpillComp(t, "bib", 200, 20, graphgen.SpillCompressVarint)
+	src, err := OpenSpillSource(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := []PredDir{{Pred: src.PredIndex("authors")}, {Pred: src.PredIndex("authors"), Inv: true}}
+	src.PrefetchRange(NodeRange{Lo: 0, Hi: 20}, pd)
+	st := src.CacheStats()
+	if st.Loads == 0 || st.PrefetchLoads != st.Loads {
+		t.Fatalf("prefetch loaded %d shards, %d attributed to prefetch", st.Loads, st.PrefetchLoads)
+	}
+	loads := st.Loads
+
+	// Demand reads over the warmed range must hit, not reload.
+	for v := int32(0); v < 20; v++ {
+		src.Neighbors(v, pd[0].Pred, false)
+		src.Neighbors(v, pd[1].Pred, true)
+	}
+	st = src.CacheStats()
+	if st.Loads != loads {
+		t.Errorf("demand reads reloaded warmed shards: %d loads, want %d", st.Loads, loads)
+	}
+	if st.Hits == 0 {
+		t.Error("demand reads over a warmed range recorded no hits")
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetchCountsIdentical: prefetching changes only when shard I/O
+// happens, never the count — across encodings and both load paths.
+func TestPrefetchCountsIdentical(t *testing.T) {
+	for _, comp := range []graphgen.SpillCompression{graphgen.SpillCompressRaw, graphgen.SpillCompressVarint} {
+		g, dir := buildSpillComp(t, "bib", 300, 10, comp)
+		q := chainQuery(t, "authors-.authors")
+		want, err := Count(g, q, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prefetch := range []int{0, 4} {
+			for _, workers := range []int{1, 3} {
+				src, err := OpenSpillSourceWith(dir, SpillSourceOptions{Mmap: comp == graphgen.SpillCompressRaw})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := CountOverSpillWith(src, q, Budget{}, EvalOptions{Workers: workers, Prefetch: prefetch})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%v prefetch=%d workers=%d: count %d != in-memory %d", comp, prefetch, workers, got, want)
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,16 @@ import (
 // are pinned: eviction only considers fully loaded entries, from least
 // recently used, and never the shard just admitted, so evaluation
 // always makes progress even when one shard exceeds the whole budget.
+//
+// Entries come in two kinds. Decoded entries own heap slices and are
+// charged at their decoded size; mapped entries (raw shards under
+// -spill-mmap) serve adjacency straight out of a file mapping, are
+// charged at the mapped file size, and carry a release closure the
+// cache runs — munmap — when the entry is evicted. Because a Neighbors
+// slice may still point into a mapping at the moment its entry is
+// evicted by a concurrent evaluation, evictions that happen while any
+// reader bracket (AcquireReader) is open retire the mapping instead of
+// releasing it; the last reader to leave reclaims everything retired.
 type ShardCache struct {
 	mu      sync.Mutex
 	budget  int64
@@ -32,6 +42,11 @@ type ShardCache struct {
 
 	hits, loads, evictions, dedups int64
 	diskLoaded                     int64 // cumulative on-disk bytes read by fresh loads
+	prefetchLoads                  int64 // fresh loads initiated by a prefetcher
+	mappedBytes                    int64 // resident bytes served from mappings
+
+	readers int      // open AcquireReader brackets
+	retired []func() // mappings evicted while readers > 0, to release
 }
 
 // sharedShardKey addresses one shard across every spill the cache
@@ -94,15 +109,88 @@ func (c *ShardCache) Stats() SpillCacheStats {
 		BytesUsed:       c.used,
 		PeakBytes:       c.peak,
 		DiskBytesLoaded: c.diskLoaded,
+		MappedBytes:     c.mappedBytes,
+		PrefetchLoads:   c.prefetchLoads,
 	}
+}
+
+// AcquireReader opens a reader bracket: until the returned release
+// runs, no mapping is unmapped — an eviction retires it instead, and
+// the closing of the last bracket reclaims everything retired. The
+// bracket is cheap (one counter) and reentrant across goroutines;
+// every evaluation entry point takes it via AcquireSourceReader, which
+// is what makes Neighbors slices into mappings safe against concurrent
+// evictions.
+func (c *ShardCache) AcquireReader() (release func()) {
+	c.mu.Lock()
+	c.readers++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.readers--
+			var drain []func()
+			if c.readers == 0 {
+				drain, c.retired = c.retired, nil
+			}
+			c.mu.Unlock()
+			for _, rel := range drain {
+				rel()
+			}
+		})
+	}
+}
+
+// Purge evicts every loaded shard, releasing (or retiring, under an
+// open reader bracket) their mappings, and leaves in-flight loads
+// untouched. Statistics other than residency are preserved. Callers
+// use it to return a cache to cold state — between cold-eval passes,
+// or to assert that MappedBytes drains to zero.
+func (c *ShardCache) Purge() {
+	c.mu.Lock()
+	var drain []func()
+	for c.order.Len() > 0 {
+		drain = append(drain, c.evictBack())
+	}
+	c.mu.Unlock()
+	for _, rel := range drain {
+		if rel != nil {
+			rel()
+		}
+	}
+}
+
+// evictBack removes the least-recently-used loaded entry, adjusting
+// residency accounting, and returns the mapping release to run outside
+// the lock — nil for decoded entries, or when an open reader bracket
+// forced the mapping onto the retired list instead. Callers hold mu
+// and must guarantee the list is non-empty.
+func (c *ShardCache) evictBack() (release func()) {
+	back := c.order.Back()
+	old := back.Value.(*cacheEntry)
+	c.order.Remove(back)
+	delete(c.entries, old.key)
+	c.used -= old.sh.bytes
+	c.evictions++
+	if old.sh.release == nil {
+		return nil
+	}
+	c.mappedBytes -= old.sh.bytes
+	if c.readers > 0 {
+		c.retired = append(c.retired, old.sh.release)
+		return nil
+	}
+	return old.sh.release
 }
 
 // get returns the cached shard for key, calling load — with no cache
 // lock held — when the shard is neither resident nor already being
 // loaded by another goroutine. A failed load is not cached: the next
 // access retries, and every waiter of the failed flight receives the
-// same error.
-func (c *ShardCache) get(key sharedShardKey, load func() (*cachedShard, error)) (*cachedShard, loadOutcome, error) {
+// same error. prefetch marks the access as prefetcher-initiated for
+// the PrefetchLoads counter; it changes no caching behavior.
+func (c *ShardCache) get(key sharedShardKey, prefetch bool, load func() (*cachedShard, error)) (*cachedShard, loadOutcome, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -138,8 +226,14 @@ func (c *ShardCache) get(key sharedShardKey, load func() (*cachedShard, error)) 
 	}
 	e.sh = sh
 	c.loads++
+	if prefetch {
+		c.prefetchLoads++
+	}
 	c.diskLoaded += sh.diskBytes
 	c.used += sh.bytes
+	if sh.release != nil {
+		c.mappedBytes += sh.bytes
+	}
 	if c.used > c.peak {
 		c.peak = c.used
 	}
@@ -147,16 +241,18 @@ func (c *ShardCache) get(key sharedShardKey, load func() (*cachedShard, error)) 
 	// Evict least-recently-used loaded shards down to the budget.
 	// In-flight entries are not on the list, and the len > 1 guard
 	// keeps the shard just admitted, so an over-budget shard is still
-	// admitted alone.
+	// admitted alone. Releases run after the lock drops — munmap is a
+	// syscall no other cache user should wait on.
+	var drain []func()
 	for c.used > c.budget && c.order.Len() > 1 {
-		back := c.order.Back()
-		old := back.Value.(*cacheEntry)
-		c.order.Remove(back)
-		delete(c.entries, old.key)
-		c.used -= old.sh.bytes
-		c.evictions++
+		if rel := c.evictBack(); rel != nil {
+			drain = append(drain, rel)
+		}
 	}
 	close(e.done)
 	c.mu.Unlock()
+	for _, rel := range drain {
+		rel()
+	}
 	return sh, loadFresh, nil
 }

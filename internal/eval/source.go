@@ -51,6 +51,57 @@ type RangedSource interface {
 	NodeRanges() []NodeRange
 }
 
+// PredDir names one (predicate, direction) adjacency a plan touches —
+// the prefetch hint a compiled query hands the background prefetcher
+// so it warms exactly the shard files the scan will read.
+type PredDir struct {
+	// Pred is the predicate id in the source's own index.
+	Pred graph.PredID
+	// Inv selects the inverse (in-neighbor) direction.
+	Inv bool
+}
+
+// PrefetchSource is an optional Source refinement for sources that can
+// warm a node range's storage before the scan reaches it. SpillSource
+// implements it by pulling the range's shard files through the shared
+// ShardCache (mmap + madvise for raw shards, decode-ahead for
+// varint/deflate ones); the singleflight cache deduplicates a prefetch
+// against a concurrent demand load, so warming is never a second read.
+type PrefetchSource interface {
+	Source
+	// PrefetchRange loads the shards of rg for each listed
+	// (predicate, direction), best-effort: failures are left for the
+	// demand path to surface, since a prefetched shard may never
+	// actually be read.
+	PrefetchRange(rg NodeRange, preds []PredDir)
+}
+
+// MappedSource is an optional Source refinement for sources whose
+// Neighbors slices may point into memory-mapped storage that eviction
+// reclaims (munmap). Evaluation entry points bracket themselves with
+// AcquireReader so no mapping is unmapped while a slice into it can
+// still be live; see AcquireSourceReader.
+type MappedSource interface {
+	Source
+	// AcquireReader pins current and future mappings until the
+	// returned release runs: an eviction during the bracket retires
+	// the mapping instead of unmapping it, and the last release
+	// reclaims everything retired.
+	AcquireReader() (release func())
+}
+
+// AcquireSourceReader pins g's storage mappings for the duration of a
+// read when g is a MappedSource and returns the release; for any other
+// source it is a no-op. Every evaluation entry point (Count, Tuples,
+// the engines) brackets itself with it, so Neighbors slices stay valid
+// across concurrent cache evictions.
+func AcquireSourceReader(g Source) func() {
+	if m, ok := g.(MappedSource); ok {
+		return m.AcquireReader()
+	}
+	return func() {}
+}
+
 // DomainSource is an optional Source refinement for sources that know
 // each predicate's active domain — the nodes carrying at least one
 // edge of the predicate in a direction — without scanning adjacency.

@@ -32,9 +32,16 @@ type SpillSource struct {
 	predIndex map[string]graph.PredID
 	cache     *ShardCache
 
+	// useMmap serves raw ("GMKCSR3\n") shards in place — mapped on
+	// linux, read into one slice elsewhere — instead of decoding;
+	// forceRead is the test knob that exercises the portable
+	// read-into-slice path on platforms that would map.
+	useMmap   bool
+	forceRead bool
+
 	// Per-evaluator attribution: accesses this source initiated,
 	// regardless of how many sources share the cache.
-	localHits, localLoads, localDedups atomic.Int64
+	localHits, localLoads, localDedups, localPrefetch atomic.Int64
 
 	mu             sync.Mutex
 	domainRebuilds int64
@@ -60,15 +67,20 @@ type shardKey struct {
 	idx  int // position in the direction's shard list
 }
 
-// cachedShard is one loaded shard. bytes is the decoded size charged
-// against the cache budget (residency); diskBytes is what the load
-// actually read from disk, smaller on compressed (v3) spills.
+// cachedShard is one loaded shard. bytes is the size charged against
+// the cache budget (residency): the decoded slice size for decoded
+// entries, the whole file image for mapped ones. diskBytes is what the
+// load actually read from disk, smaller on compressed (v3) spills; a
+// mapped entry charges its file size, the I/O its pages fault in.
+// release, when non-nil, reclaims the mapping backing off/adj — the
+// cache runs it on eviction, under the reader-bracket protocol.
 type cachedShard struct {
 	lo        int32
 	off       []int32
 	adj       []int32
 	bytes     int64
 	diskBytes int64
+	release   func()
 }
 
 // SpillCacheStats reports shard-cache behavior: how many lookups hit a
@@ -85,7 +97,11 @@ type cachedShard struct {
 // DomainRebuilds counts shard files read to reconstruct an
 // active-domain bitmap missing from a legacy spill; it stays zero on
 // spills with persisted bitmaps, which is how tests assert that
-// StarDomain performs no full-shard sweep.
+// StarDomain performs no full-shard sweep. MappedBytes is the subset
+// of BytesUsed served from file mappings (raw shards under mmap) —
+// those entries charge their mapped file size, and eviction returns
+// the bytes by munmap. PrefetchLoads is the subset of Loads a
+// background prefetcher initiated rather than the scan itself.
 type SpillCacheStats struct {
 	Hits            int64
 	Loads           int64
@@ -95,6 +111,8 @@ type SpillCacheStats struct {
 	PeakBytes       int64
 	DiskBytesLoaded int64
 	DomainRebuilds  int64
+	MappedBytes     int64
+	PrefetchLoads   int64
 }
 
 // OpenSpillSource opens a CSR spill directory as an evaluation Source
@@ -103,11 +121,34 @@ type SpillCacheStats struct {
 // than the budget is still admitted alone, so evaluation always makes
 // progress.
 func OpenSpillSource(dir string, cacheBytes int64) (*SpillSource, error) {
+	return OpenSpillSourceWith(dir, SpillSourceOptions{CacheBytes: cacheBytes})
+}
+
+// SpillSourceOptions configures how OpenSpillSourceWith (and
+// NewSpillSourceOpt) serve a spill; the zero value matches
+// OpenSpillSource's behavior.
+type SpillSourceOptions struct {
+	// CacheBytes bounds the resident shard bytes (<= 0 selects
+	// DefaultSpillCacheBytes). Ignored by NewSpillSourceOpt, whose
+	// caller supplies the cache.
+	CacheBytes int64
+	// Mmap serves raw ("GMKCSR3\n") shards in place instead of
+	// decoding them: memory-mapped on linux, read into a single slice
+	// and viewed identically elsewhere. Shards of any other layout in
+	// the same spill fall back to the decoding loader, so the flag is
+	// safe on mixed or varint/deflate directories — it just has
+	// nothing to map there.
+	Mmap bool
+}
+
+// OpenSpillSourceWith is OpenSpillSource with explicit source options
+// and a private ShardCache.
+func OpenSpillSourceWith(dir string, opt SpillSourceOptions) (*SpillSource, error) {
 	spill, err := graphgen.OpenCSRSpill(dir)
 	if err != nil {
 		return nil, err
 	}
-	return NewSpillSource(spill, cacheBytes), nil
+	return NewSpillSourceOpt(spill, NewShardCache(opt.CacheBytes), opt), nil
 }
 
 // NewSpillSource wraps an already-opened spill with a private
@@ -121,10 +162,17 @@ func NewSpillSource(spill *graphgen.CSRSpill, cacheBytes int64) *SpillSource {
 // ShardCache, so several sources — over one spill or many — pool their
 // shard residency instead of each holding a private copy.
 func NewSpillSourceWith(spill *graphgen.CSRSpill, cache *ShardCache) *SpillSource {
+	return NewSpillSourceOpt(spill, cache, SpillSourceOptions{})
+}
+
+// NewSpillSourceOpt is NewSpillSourceWith with explicit source
+// options (the options' CacheBytes is ignored — the cache is given).
+func NewSpillSourceOpt(spill *graphgen.CSRSpill, cache *ShardCache, opt SpillSourceOptions) *SpillSource {
 	s := &SpillSource{
 		spill:     spill,
 		predIndex: make(map[string]graph.PredID, len(spill.Manifest.Predicates)),
 		cache:     cache,
+		useMmap:   opt.Mmap,
 		domains:   make(map[domainKey]*bitset.Set),
 	}
 	for i, p := range spill.Manifest.Predicates {
@@ -256,7 +304,7 @@ func (s *SpillSource) Neighbors(v graph.NodeID, p graph.PredID, inverse bool) []
 		return nil
 	}
 	idx := int(v) / shardNodes
-	sh, err := s.shard(shardKey{pred: p, inv: inverse, idx: idx})
+	sh, err := s.shard(shardKey{pred: p, inv: inverse, idx: idx}, false)
 	if err != nil {
 		return nil
 	}
@@ -307,9 +355,10 @@ func (s *SpillSource) CacheStats() SpillCacheStats {
 // properties and stay zero here; read them from CacheStats.
 func (s *SpillSource) LocalCacheStats() SpillCacheStats {
 	st := SpillCacheStats{
-		Hits:      s.localHits.Load(),
-		Loads:     s.localLoads.Load(),
-		DedupHits: s.localDedups.Load(),
+		Hits:          s.localHits.Load(),
+		Loads:         s.localLoads.Load(),
+		DedupHits:     s.localDedups.Load(),
+		PrefetchLoads: s.localPrefetch.Load(),
 	}
 	s.mu.Lock()
 	st.DomainRebuilds = s.domainRebuilds
@@ -317,18 +366,63 @@ func (s *SpillSource) LocalCacheStats() SpillCacheStats {
 	return st
 }
 
+// AcquireReader implements MappedSource by delegating to the shard
+// cache, whose reader bracket is what defers munmap past the last live
+// Neighbors slice; sources sharing one cache share the bracket.
+func (s *SpillSource) AcquireReader() (release func()) {
+	return s.cache.AcquireReader()
+}
+
+// PrefetchRange implements PrefetchSource: it pulls the shard of each
+// listed (predicate, direction) covering rg through the shared cache —
+// mapping raw shards with readahead advice, decoding the rest — so the
+// scan finds them resident. Best-effort: load failures are not sticky
+// here, because a prefetched shard may never be demanded; if it is,
+// the demand load retries and surfaces the error.
+func (s *SpillSource) PrefetchRange(rg NodeRange, preds []PredDir) {
+	shardNodes := s.spill.Manifest.ShardNodes
+	if shardNodes <= 0 {
+		return
+	}
+	idx := int(rg.Lo) / shardNodes
+	for _, pd := range preds {
+		_, _ = s.shard(shardKey{pred: pd.Pred, inv: pd.Inv, idx: idx}, true)
+	}
+}
+
 // shard resolves key against the manifest and fetches it through the
 // shared cache; the file read happens with no lock held, and
 // simultaneous misses on one shard collapse into a single read.
-func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
+// prefetch marks a prefetcher-initiated access: its loads count as
+// PrefetchLoads and its failures are not sticky.
+func (s *SpillSource) shard(key shardKey, prefetch bool) (*cachedShard, error) {
 	meta, err := s.shardMeta(key)
 	if err != nil {
-		s.fail(err)
+		if !prefetch {
+			s.fail(err)
+		}
 		return nil, err
 	}
 	sh, outcome, err := s.cache.get(
 		sharedShardKey{spill: s.spill, pred: key.pred, inv: key.inv, idx: key.idx},
+		prefetch,
 		func() (*cachedShard, error) {
+			if s.useMmap {
+				sh, handled, err := s.loadRawShard(meta)
+				if err != nil {
+					return nil, err
+				}
+				if handled {
+					if len(sh.off) != meta.Hi-meta.Lo+1 {
+						if sh.release != nil {
+							sh.release()
+						}
+						return nil, fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
+							meta.File, len(sh.off)-1, meta.Hi-meta.Lo)
+					}
+					return sh, nil
+				}
+			}
 			off, adj, diskBytes, err := s.spill.LoadShardSized(meta)
 			if err == nil && len(off) != meta.Hi-meta.Lo+1 {
 				err = fmt.Errorf("eval: shard %s covers %d nodes, manifest says %d",
@@ -346,7 +440,9 @@ func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
 			}, nil
 		})
 	if err != nil {
-		s.fail(err)
+		if !prefetch {
+			s.fail(err)
+		}
 		return nil, err
 	}
 	switch outcome {
@@ -356,6 +452,9 @@ func (s *SpillSource) shard(key shardKey) (*cachedShard, error) {
 		s.localDedups.Add(1)
 	case loadFresh:
 		s.localLoads.Add(1)
+		if prefetch {
+			s.localPrefetch.Add(1)
+		}
 	}
 	return sh, nil
 }

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gmark/internal/eval"
+	"gmark/internal/graphgen"
+	"gmark/internal/query"
+	"gmark/internal/usecases"
+)
+
+// ColdEvalRow reports one cell of the cold-versus-warm residency
+// study: the same count evaluated over a freshly opened spill (cold:
+// every shard load comes from disk) and again over the same source
+// (warm: the shard cache already holds the working set), for one
+// (use case, shard encoding, load path, prefetch depth) combination.
+type ColdEvalRow struct {
+	Usecase string
+	Nodes   int
+	Edges   int
+	// Encoding is the shard encoding the spill was written with
+	// (raw, varint, deflate).
+	Encoding string
+	// Mmap records whether the source was opened with the zero-copy
+	// mapping path enabled (it only engages for raw shards).
+	Mmap bool
+	// Prefetch is the background prefetch depth (0 = off).
+	Prefetch int
+	Query    string
+	Count    int64
+	// Cold is the first evaluation on a fresh source; Warm is the
+	// second evaluation on the same source.
+	Cold time.Duration
+	Warm time.Duration
+	// Loads and PrefetchLoads are the cold run's shard loads and how
+	// many of them the prefetcher initiated; DiskBytes is what the
+	// cold run read from disk, MappedBytes the mapping residency it
+	// ended with.
+	Loads         int64
+	PrefetchLoads int64
+	DiskBytes     int64
+	MappedBytes   int64
+}
+
+// Speedup is Cold/Warm — how much the first pass pays over a resident
+// one.
+func (r ColdEvalRow) Speedup() float64 {
+	if r.Warm <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.Warm)
+}
+
+// ColdEval measures the cold first-pass cost of spill-backed
+// evaluation across the residency matrix of docs/ARCHITECTURE.md: for
+// every built-in use case the instance is spilled once per shard
+// encoding (raw, varint, deflate), then one inverse-join query is
+// counted cold (fresh source) and warm (same source again) with the
+// mapping path off and on, and with the background prefetcher off and
+// on. Counts in every cell must equal the in-memory count. The
+// interesting diagonal is raw+mmap versus varint: the raw cold pass
+// skips all decode work, which is the zero-copy tier's reason to
+// exist.
+func ColdEval(opt Options) ([]ColdEvalRow, error) {
+	opt = opt.withDefaults()
+	size := 20_000
+	if opt.Full {
+		size = 100_000
+	}
+	if len(opt.Sizes) > 0 {
+		size = opt.Sizes[0]
+	}
+	// A few dozen shards per (predicate, direction): enough ranges for
+	// prefetch-ahead to overlap I/O with scanning.
+	shardNodes := size/32 + 1
+
+	var rows []ColdEvalRow
+	for _, uc := range usecases.Names {
+		ucRows, err := coldEvalUsecase(opt, uc, size, shardNodes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ucRows...)
+	}
+	return rows, nil
+}
+
+// coldEvalEncodings is the encoding sweep of the cold-eval study.
+var coldEvalEncodings = []graphgen.SpillCompression{
+	graphgen.SpillCompressRaw,
+	graphgen.SpillCompressVarint,
+	graphgen.SpillCompressDeflate,
+}
+
+// coldEvalUsecase runs the residency matrix for one use case; spill
+// directories are cleaned up on every return path.
+func coldEvalUsecase(opt Options, uc string, size, shardNodes int) ([]ColdEvalRow, error) {
+	g, err := buildGraph(uc, size, opt.Seed, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := usecases.ByName(uc, size)
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.Schema.Predicates[0].Name
+	qc := spillEvalQueries(pred)[1] // the inverse join chain
+	want, err := eval.Count(g, qc.q, opt.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("%s in-memory %s: %w", uc, qc.label, err)
+	}
+
+	var rows []ColdEvalRow
+	for _, comp := range coldEvalEncodings {
+		dir, err := os.MkdirTemp("", "gmark-cold-eval-")
+		if err != nil {
+			return nil, err
+		}
+		if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		for _, useMmap := range []bool{false, true} {
+			for _, prefetch := range []int{0, 2} {
+				row, err := coldEvalCell(opt, dir, uc, qc.label, qc.q, want, comp, useMmap, prefetch)
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				row.Nodes = g.NumNodes()
+				row.Edges = g.NumEdges()
+				rows = append(rows, row)
+				if opt.Progress != nil {
+					fmt.Fprintf(opt.Progress, "cold-eval %s %s mmap=%v prefetch=%d: cold %v warm %v\n",
+						uc, comp, useMmap, prefetch, row.Cold.Round(time.Microsecond), row.Warm.Round(time.Microsecond))
+				}
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	return rows, nil
+}
+
+// coldEvalCell evaluates one matrix cell: a fresh source for the cold
+// pass, the same source again for the warm pass, counts pinned to the
+// in-memory result. The evaluation is sequential (Workers 1) so the
+// prefetcher's I/O overlap is the only concurrency in the cell.
+func coldEvalCell(opt Options, dir, uc, label string, q *query.Query, want int64, comp graphgen.SpillCompression, useMmap bool, prefetch int) (ColdEvalRow, error) {
+	src, err := eval.OpenSpillSourceWith(dir, eval.SpillSourceOptions{Mmap: useMmap})
+	if err != nil {
+		return ColdEvalRow{}, err
+	}
+	eopt := eval.EvalOptions{Workers: 1, Prefetch: prefetch}
+
+	start := time.Now()
+	got, err := eval.CountOverSpillWith(src, q, opt.Budget, eopt)
+	if err != nil {
+		return ColdEvalRow{}, fmt.Errorf("%s cold %s/%s: %w", uc, comp, label, err)
+	}
+	cold := time.Since(start)
+	if got != want {
+		return ColdEvalRow{}, fmt.Errorf("%s %s/%s: cold count %d != in-memory %d", uc, comp, label, got, want)
+	}
+	st := src.CacheStats()
+
+	start = time.Now()
+	got, err = eval.CountOverSpillWith(src, q, opt.Budget, eopt)
+	if err != nil {
+		return ColdEvalRow{}, fmt.Errorf("%s warm %s/%s: %w", uc, comp, label, err)
+	}
+	warm := time.Since(start)
+	if got != want {
+		return ColdEvalRow{}, fmt.Errorf("%s %s/%s: warm count %d != in-memory %d", uc, comp, label, got, want)
+	}
+
+	return ColdEvalRow{
+		Usecase:       uc,
+		Encoding:      comp.String(),
+		Mmap:          useMmap,
+		Prefetch:      prefetch,
+		Query:         label,
+		Count:         got,
+		Cold:          cold,
+		Warm:          warm,
+		Loads:         st.Loads,
+		PrefetchLoads: st.PrefetchLoads,
+		DiskBytes:     st.DiskBytesLoaded,
+		MappedBytes:   st.MappedBytes,
+	}, nil
+}
+
+// RenderColdEval prints the cold-eval matrix, one row per cell.
+func RenderColdEval(w io.Writer, rows []ColdEvalRow) {
+	fmt.Fprintf(w, "%-5s %-8s %-5s %-9s %12s %12s %8s %6s %9s %10s %10s\n",
+		"", "encoding", "mmap", "prefetch", "cold", "warm", "cold/w", "loads", "prefetchd", "disk", "mapped")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-8s %-5v %-9d %12v %12v %7.1fx %6d %9d %10s %10s\n",
+			r.Usecase, r.Encoding, r.Mmap, r.Prefetch,
+			r.Cold.Round(time.Microsecond), r.Warm.Round(time.Microsecond),
+			r.Speedup(), r.Loads, r.PrefetchLoads,
+			fmtBytes(r.DiskBytes), fmtBytes(r.MappedBytes))
+	}
+}

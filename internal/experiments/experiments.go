@@ -52,6 +52,19 @@ type Options struct {
 	// evaluation study (0 = all cores, 1 = sequential; counts are
 	// identical for any value).
 	EvalWorkers int
+	// SpillCompress selects the shard encoding for experiments that
+	// write CSR spills ("" = the default, varint). The cold-eval study
+	// sweeps encodings itself and ignores this.
+	SpillCompress string
+}
+
+// spillCompression resolves the SpillCompress option to a shard
+// encoding, defaulting to delta-varint like the spill writers do.
+func (o Options) spillCompression() (graphgen.SpillCompression, error) {
+	if o.SpillCompress == "" {
+		return graphgen.SpillCompressVarint, nil
+	}
+	return graphgen.ParseSpillCompression(o.SpillCompress)
 }
 
 // measureEngine runs one engine evaluation under the configured

@@ -94,7 +94,11 @@ func SpillEngines(opt Options) ([]SpillEngineRow, error) {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+	comp, err := opt.spillCompression()
+	if err != nil {
+		return nil, err
+	}
+	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
 		return nil, err
 	}
 

@@ -104,7 +104,11 @@ func spillEvalUsecase(opt Options, uc string, size, shardNodes int) ([]SpillEval
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
+	comp, err := opt.spillCompression()
+	if err != nil {
+		return nil, err
+	}
+	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
 		return nil, err
 	}
 	cfg, err := usecases.ByName(uc, size)

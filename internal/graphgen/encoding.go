@@ -38,14 +38,24 @@ const (
 	SpillCompressVarint
 	SpillCompressDeflate
 	SpillCompressZstd
+	// SpillCompressRaw writes format_version 3 shards whose payload is
+	// the fixed-width v1 array layout, 8-byte aligned behind a
+	// page-padded header ("GMKCSR3\n" magic), so a reader can interpret
+	// — or mmap — the shard file in place with zero decode work. Larger
+	// on disk than varint/deflate; fastest cold first pass.
+	SpillCompressRaw
 )
 
 // ParseSpillCompression maps a -spill-compress flag value to its
-// setting: "none", "varint", "deflate", or "zstd".
+// setting: "none", "raw", "varint", "deflate", or "zstd". It is the
+// single parse/validate helper every CLI shares, so the reserved zstd
+// codec is rejected with one consistent error text.
 func ParseSpillCompression(s string) (SpillCompression, error) {
 	switch s {
 	case "none":
 		return SpillCompressNone, nil
+	case "raw":
+		return SpillCompressRaw, nil
 	case "varint":
 		return SpillCompressVarint, nil
 	case "deflate":
@@ -53,7 +63,7 @@ func ParseSpillCompression(s string) (SpillCompression, error) {
 	case "zstd":
 		return SpillCompressZstd, fmt.Errorf("graphgen: zstd is a reserved codec (ID %d) not implemented by this vendor-free build; use -spill-compress=deflate", codecZstd)
 	default:
-		return SpillCompressNone, fmt.Errorf("graphgen: unknown spill compression %q (want none, varint, deflate, or zstd)", s)
+		return SpillCompressNone, fmt.Errorf("graphgen: unknown spill compression %q (want none, raw, varint, deflate, or zstd)", s)
 	}
 }
 
@@ -62,6 +72,8 @@ func (c SpillCompression) String() string {
 	switch c {
 	case SpillCompressNone:
 		return "none"
+	case SpillCompressRaw:
+		return "raw"
 	case SpillCompressVarint:
 		return "varint"
 	case SpillCompressDeflate:
@@ -77,7 +89,7 @@ func (c SpillCompression) String() string {
 // construction rather than mid-run.
 func checkSpillCompression(comp SpillCompression) error {
 	switch comp {
-	case SpillCompressNone, SpillCompressVarint, SpillCompressDeflate:
+	case SpillCompressNone, SpillCompressRaw, SpillCompressVarint, SpillCompressDeflate:
 		return nil
 	case SpillCompressZstd:
 		return fmt.Errorf("graphgen: zstd is a reserved codec (ID %d) not implemented by this vendor-free build; use deflate", codecZstd)
@@ -310,6 +322,8 @@ func decodeCSRShard(data []byte) (off, adj []int32, err error) {
 		return decodeCSRShardV1(data[len(csrMagic):])
 	case len(data) >= len(csrMagicV3) && string(data[:len(csrMagicV3)]) == csrMagicV3:
 		return decodeCSRShardV3(data[len(csrMagicV3):])
+	case len(data) >= len(csrMagicRaw) && string(data[:len(csrMagicRaw)]) == csrMagicRaw:
+		return decodeCSRShardRaw(data)
 	default:
 		return nil, nil, fmt.Errorf("not a CSR shard file")
 	}
@@ -401,6 +415,141 @@ func decodeCSRShardV3(body []byte) (off, adj []int32, err error) {
 	off, adj, err = decodeCSRPayload(payload, nLocal, edges)
 	if err != nil {
 		return nil, nil, err
+	}
+	return off, adj, nil
+}
+
+// The mappable raw shard layout ("GMKCSR3\n"): a page-padded header
+// followed by the fixed-width v1 arrays, placed so the file can be
+// interpreted — or memory-mapped — in place. All alignment guarantees
+// below hold relative to the file start, which mmap places on a page
+// boundary. docs/FORMATS.md has the external specification.
+const (
+	// rawShardHeaderLen is the byte offset of the offset array: one
+	// page, so the arrays start page-aligned in a mapping and header
+	// growth never moves them within a format_version.
+	rawShardHeaderLen = 4096
+	// rawShardHeaderMin is the smallest header a reader accepts, the
+	// bytes the fixed fields occupy; headerLen values between it and
+	// the file size are legal as long as they are 8-byte aligned.
+	rawShardHeaderMin = 24
+)
+
+// RawShardLayout locates the fixed-width arrays inside a raw
+// ("GMKCSR3\n") shard image: the offset array is NLocal+1 uint32s at
+// OffStart, the adjacency array Edges uint32s at AdjStart. Both starts
+// are multiples of 8 from the image head, so a page-aligned mapping
+// can reinterpret them as []int32 in place.
+type RawShardLayout struct {
+	NLocal   int // nodes covered by the shard
+	Edges    int // adjacency entries
+	OffStart int // byte offset of off[] (NLocal+1 uint32s)
+	AdjStart int // byte offset of adj[] (Edges uint32s)
+}
+
+// ParseRawShardImage validates a raw shard image's header and
+// structure and returns where its arrays live. ok is false when the
+// image does not carry the raw magic at all (the caller should fall
+// back to decodeCSRShard); a raw-magic image that fails validation is
+// corrupt and returns an error. Array *contents* are not inspected —
+// that is the point of the mappable layout; CheckShardOffsets
+// validates the offset array once it is viewed.
+func ParseRawShardImage(data []byte) (lay RawShardLayout, ok bool, err error) {
+	if len(data) < len(csrMagicRaw) || string(data[:len(csrMagicRaw)]) != csrMagicRaw {
+		return RawShardLayout{}, false, nil
+	}
+	if len(data) < rawShardHeaderMin {
+		return RawShardLayout{}, true, fmt.Errorf("truncated raw shard header (%d bytes)", len(data))
+	}
+	nLocal := int64(binary.LittleEndian.Uint32(data[8:12]))
+	edges := int64(binary.LittleEndian.Uint32(data[12:16]))
+	headerLen := int64(binary.LittleEndian.Uint32(data[16:20]))
+	if headerLen < rawShardHeaderMin || headerLen%8 != 0 || headerLen > int64(len(data)) {
+		return RawShardLayout{}, true, fmt.Errorf("raw shard header length %d invalid", headerLen)
+	}
+	offBytes := 4 * (nLocal + 1)
+	adjStart := (headerLen + offBytes + 7) &^ 7
+	if want := adjStart + 4*edges; int64(len(data)) != want {
+		return RawShardLayout{}, true, fmt.Errorf("raw shard is %d bytes, layout wants %d (%d nodes, %d edges)",
+			len(data), want, nLocal, edges)
+	}
+	return RawShardLayout{
+		NLocal:   int(nLocal),
+		Edges:    int(edges),
+		OffStart: int(headerLen),
+		AdjStart: int(adjStart),
+	}, true, nil
+}
+
+// CheckShardOffsets validates a shard's rebased offset array against
+// its declared edge count: off[0] == 0, monotone non-decreasing, final
+// entry == edges. It is the shared structural check of the copying
+// decoder and the in-place (mmap) reader, so both reject the same
+// corruption instead of slicing out of bounds.
+func CheckShardOffsets(off []int32, edges int) error {
+	if len(off) == 0 {
+		return fmt.Errorf("shard has no offset array")
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("shard offsets start at %d, not 0", off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("shard offsets not monotone at node %d", i)
+		}
+	}
+	if int(off[len(off)-1]) != edges {
+		return fmt.Errorf("shard offsets end at %d, header declares %d edges", off[len(off)-1], edges)
+	}
+	return nil
+}
+
+// encodeCSRShardRaw renders one complete raw (mappable) shard image:
+// the page-padded header, the rebased offset array, zero padding to
+// the next 8-byte boundary, then the adjacency array. off is the
+// global offset slice of the shard's range (not necessarily rebased);
+// adj is the full adjacency the offsets index into.
+func encodeCSRShardRaw(off, adj []int32) []byte {
+	nLocal := len(off) - 1
+	base := off[0]
+	local := adj[base:off[nLocal]]
+	offBytes := 4 * (nLocal + 1)
+	adjStart := (rawShardHeaderLen + offBytes + 7) &^ 7
+	out := make([]byte, adjStart+4*len(local))
+	copy(out, csrMagicRaw)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(nLocal))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(local)))
+	binary.LittleEndian.PutUint32(out[16:20], rawShardHeaderLen)
+	for i, v := range off {
+		binary.LittleEndian.PutUint32(out[rawShardHeaderLen+4*i:], uint32(v-base))
+	}
+	for i, v := range local {
+		binary.LittleEndian.PutUint32(out[adjStart+4*i:], uint32(v))
+	}
+	return out
+}
+
+// decodeCSRShardRaw is the copying reader of the raw layout — the path
+// non-mmap loaders and the fuzz harness take. Unlike the in-place
+// reader it can afford to range-check every adjacency entry.
+func decodeCSRShardRaw(data []byte) (off, adj []int32, err error) {
+	lay, _, err := ParseRawShardImage(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	off = make([]int32, lay.NLocal+1)
+	for i := range off {
+		off[i] = int32(binary.LittleEndian.Uint32(data[lay.OffStart+4*i:]))
+	}
+	if err := CheckShardOffsets(off, lay.Edges); err != nil {
+		return nil, nil, err
+	}
+	adj = make([]int32, lay.Edges)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(data[lay.AdjStart+4*i:]))
+		if adj[i] < 0 {
+			return nil, nil, fmt.Errorf("adjacency entry %d out of node-id range", i)
+		}
 	}
 	return off, adj, nil
 }

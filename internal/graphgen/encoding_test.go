@@ -114,7 +114,7 @@ func TestDeflateFrameOnlyWhenSmaller(t *testing.T) {
 // TestParseSpillCompression: names round-trip, zstd and unknown names
 // are clear errors.
 func TestParseSpillCompression(t *testing.T) {
-	for _, name := range []string{"none", "varint", "deflate"} {
+	for _, name := range []string{"none", "raw", "varint", "deflate"} {
 		c, err := ParseSpillCompression(name)
 		if err != nil || c.String() != name {
 			t.Fatalf("ParseSpillCompression(%q) = %v, %v", name, c, err)
@@ -441,6 +441,8 @@ func FuzzCSRShardDecode(f *testing.F) {
 	}
 	f.Add(v1.Bytes())
 	f.Add([]byte(csrMagicV3))
+	f.Add(encodeCSRShardRaw(off, adj))
+	f.Add([]byte(csrMagicRaw))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		off, adj, err := decodeCSRShard(data)
 		if err != nil {

@@ -42,12 +42,17 @@ import (
 // layout ("GMKCSR2\n" magic): a codec flag byte, the same counts, and
 // a delta-varint payload — offsets as gap sequences, adjacency rows as
 // per-row deltas — optionally wrapped per shard in a DEFLATE frame
-// when that shrinks it (see encoding.go). Readers dispatch on the
-// shard magic, so v1/v2 spills keep decoding unchanged.
-// docs/FORMATS.md specifies every layout for external readers.
+// when that shrinks it (see encoding.go). A third shard layout
+// ("GMKCSR3\n", -spill-compress=raw) keeps the fixed-width arrays
+// behind a page-padded header, 8-byte aligned, so a reader can serve
+// adjacency straight out of a memory-mapped shard file with no decode
+// at all. Readers dispatch on the shard magic, so v1/v2 spills keep
+// decoding unchanged. docs/FORMATS.md specifies every layout for
+// external readers.
 const (
 	csrMagic        = "GMKCSR1\n"
 	csrMagicV3      = "GMKCSR2\n"
+	csrMagicRaw     = "GMKCSR3\n"
 	domMagic        = "GMKDOM1\n"
 	csrManifestFile = "csr-index.json"
 
@@ -608,6 +613,9 @@ func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off,
 func writeCSRShard(path string, off []int32, adj []int32, comp SpillCompression) (int, error) {
 	base := off[0]
 	local := adj[base:off[len(off)-1]]
+	if comp == SpillCompressRaw {
+		return len(local), os.WriteFile(path, encodeCSRShardRaw(off, adj), 0o644)
+	}
 	if comp != SpillCompressNone {
 		img, err := encodeCSRShardV3(off, adj, comp)
 		if err != nil {
@@ -743,6 +751,14 @@ func (c *CSRSpill) LoadShardSized(sh CSRShard) (off, adj []int32, diskBytes int6
 		return nil, nil, 0, fmt.Errorf("graphgen: %s: %w", sh.File, err)
 	}
 	return off, adj, int64(len(data)), nil
+}
+
+// ShardPath returns the absolute path of one shard file, the single
+// integration point for readers — such as the evaluator's mmap loader
+// — that interpret the shard file in place instead of going through
+// LoadShardSized's read-and-decode.
+func (c *CSRSpill) ShardPath(sh CSRShard) string {
+	return filepath.Join(c.dir, sh.File)
 }
 
 // ShardFor returns the shard of a direction's shard list covering
