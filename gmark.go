@@ -490,14 +490,16 @@ func CompareEnginesWith(src EvalSource, q *Query, b Budget, opt EvalOptions) []E
 	all := engines.All()
 	out := make([]EngineComparison, 0, len(all))
 	for _, eng := range all {
+		//lint:ignore determinism EngineComparison.Elapsed is a reported measurement; the deterministic outputs are the counts
 		start := time.Now()
 		n, err := engines.EvaluateOpt(eng, src, q, b, opt)
 		if err == nil && sticky != nil {
 			err = sticky.Err()
 		}
 		out = append(out, EngineComparison{
-			Engine:  eng.Name(),
-			Count:   n,
+			Engine: eng.Name(),
+			Count:  n,
+			//lint:ignore determinism wall time of the run just measured, reported to the caller, never serialized into artifacts
 			Elapsed: time.Since(start),
 			Err:     err,
 		})

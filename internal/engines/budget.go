@@ -1,0 +1,47 @@
+package engines
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gmark/internal/eval"
+)
+
+// deadlineMeter is the single wall-clock guard shared by every engine
+// budget (P/S/G/D). It is the only place in internal/engines that may
+// read the clock — gmarklint's determinism analyzer allowlists exactly
+// this file — because timeouts are part of the simulated-engine
+// contract while counts, not timings, are the deterministic output.
+//
+// The check is amortized on the pattern G introduced: one atomic
+// counter increment per call, the clock consulted only on every
+// 1024th. Deadline overshoot is bounded by 1024 budget-check
+// intervals, which is noise against the multi-second paper timeouts,
+// and the common path costs no syscall. The counter is atomic so one
+// meter can be shared by every range worker of a parallel evaluation
+// and the deadline stays a hard global limit.
+type deadlineMeter struct {
+	calls    atomic.Int64
+	deadline time.Time
+}
+
+// arm starts the clock: a zero timeout leaves the meter disarmed and
+// every check free.
+func (d *deadlineMeter) arm(timeout time.Duration) {
+	if timeout > 0 {
+		d.deadline = time.Now().Add(timeout)
+	}
+}
+
+// checkTime reports eval.ErrBudget once the armed deadline has
+// passed, consulting the wall clock once per 1024 calls.
+func (d *deadlineMeter) checkTime() error {
+	if d.deadline.IsZero() || d.calls.Add(1)&1023 != 0 {
+		return nil
+	}
+	if time.Now().After(d.deadline) {
+		return fmt.Errorf("%w: timeout", eval.ErrBudget)
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package engines
 
 import (
 	"fmt"
-	"time"
 
 	"gmark/internal/bitset"
 	"gmark/internal/eval"
@@ -28,17 +27,17 @@ func (*DatalogEngine) Describe() string {
 	return "datalog engine: bottom-up semi-naive evaluation with delta relations"
 }
 
+// dlBudget tracks materialized facts against the budget; the deadline
+// is the shared amortized deadlineMeter (budget.go).
 type dlBudget struct {
 	pairs    int64
 	maxPairs int64
-	deadline time.Time
+	deadlineMeter
 }
 
 func newDlBudget(b eval.Budget) *dlBudget {
 	bt := &dlBudget{maxPairs: b.MaxPairs}
-	if b.Timeout > 0 {
-		bt.deadline = time.Now().Add(b.Timeout)
-	}
+	bt.arm(b.Timeout)
 	return bt
 }
 
@@ -47,14 +46,7 @@ func (b *dlBudget) charge(n int64) error {
 	if b.maxPairs > 0 && b.pairs > b.maxPairs {
 		return fmt.Errorf("%w: materialized more than %d facts", eval.ErrBudget, b.maxPairs)
 	}
-	return nil
-}
-
-func (b *dlBudget) checkTime() error {
-	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
-		return fmt.Errorf("%w: timeout", eval.ErrBudget)
-	}
-	return nil
+	return b.checkTime()
 }
 
 // rowRel is a binary relation stored as per-source bitset rows: the

@@ -3,7 +3,6 @@ package engines
 import (
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"gmark/internal/bitset"
 	"gmark/internal/eval"
@@ -54,19 +53,17 @@ func (*GraphDB) RewritesRecursion(q *query.Query) bool {
 
 // gdbBudget meters G's traversal steps. The counters are atomic so one
 // budget is shared by every range worker of a parallel evaluation and
-// MaxPairs/Timeout remain hard global limits.
+// MaxPairs/Timeout remain hard global limits; the deadline is the
+// shared amortized deadlineMeter (budget.go).
 type gdbBudget struct {
 	steps    atomic.Int64
-	calls    atomic.Int64
 	maxSteps int64
-	deadline time.Time
+	deadlineMeter
 }
 
 func newGdbBudget(b eval.Budget) *gdbBudget {
 	bt := &gdbBudget{maxSteps: b.MaxPairs}
-	if b.Timeout > 0 {
-		bt.deadline = time.Now().Add(b.Timeout)
-	}
+	bt.arm(b.Timeout)
 	return bt
 }
 
@@ -74,10 +71,7 @@ func (b *gdbBudget) charge(n int64) error {
 	if steps := b.steps.Add(n); b.maxSteps > 0 && steps > b.maxSteps {
 		return fmt.Errorf("%w: more than %d traversal steps", eval.ErrBudget, b.maxSteps)
 	}
-	if b.calls.Add(1)&1023 == 0 && !b.deadline.IsZero() && time.Now().After(b.deadline) {
-		return fmt.Errorf("%w: timeout", eval.ErrBudget)
-	}
-	return nil
+	return b.checkTime()
 }
 
 // Evaluate implements Engine.

@@ -2,7 +2,6 @@ package engines
 
 import (
 	"fmt"
-	"time"
 
 	"gmark/internal/eval"
 	"gmark/internal/query"
@@ -29,18 +28,17 @@ func (*Postgres) Describe() string {
 
 type pair struct{ src, dst int32 }
 
-// pgBudget tracks materialized tuples against the budget.
+// pgBudget tracks materialized tuples against the budget; the
+// deadline is the shared amortized deadlineMeter (budget.go).
 type pgBudget struct {
 	pairs    int64
 	maxPairs int64
-	deadline time.Time
+	deadlineMeter
 }
 
 func newPgBudget(b eval.Budget) *pgBudget {
 	bt := &pgBudget{maxPairs: b.MaxPairs}
-	if b.Timeout > 0 {
-		bt.deadline = time.Now().Add(b.Timeout)
-	}
+	bt.arm(b.Timeout)
 	return bt
 }
 
@@ -49,14 +47,7 @@ func (b *pgBudget) charge(n int64) error {
 	if b.maxPairs > 0 && b.pairs > b.maxPairs {
 		return fmt.Errorf("%w: materialized more than %d tuples", eval.ErrBudget, b.maxPairs)
 	}
-	return nil
-}
-
-func (b *pgBudget) checkTime() error {
-	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
-		return fmt.Errorf("%w: timeout", eval.ErrBudget)
-	}
-	return nil
+	return b.checkTime()
 }
 
 // Evaluate implements Engine.

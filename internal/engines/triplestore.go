@@ -3,7 +3,6 @@ package engines
 import (
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"gmark/internal/eval"
 	"gmark/internal/query"
@@ -32,19 +31,17 @@ func (*TripleStore) Describe() string {
 
 // tsBudget meters S's binding work. The counters are atomic so one
 // budget is shared by every range worker of a parallel evaluation and
-// MaxPairs/Timeout remain hard global limits.
+// MaxPairs/Timeout remain hard global limits; the deadline is the
+// shared amortized deadlineMeter (budget.go).
 type tsBudget struct {
-	work     atomic.Int64
-	calls    atomic.Int64
-	maxWork  int64
-	deadline time.Time
+	work    atomic.Int64
+	maxWork int64
+	deadlineMeter
 }
 
 func newTsBudget(b eval.Budget) *tsBudget {
 	bt := &tsBudget{maxWork: b.MaxPairs}
-	if b.Timeout > 0 {
-		bt.deadline = time.Now().Add(b.Timeout)
-	}
+	bt.arm(b.Timeout)
 	return bt
 }
 
@@ -52,17 +49,7 @@ func (b *tsBudget) charge(n int64) error {
 	if work := b.work.Add(n); b.maxWork > 0 && work > b.maxWork {
 		return fmt.Errorf("%w: more than %d bindings", eval.ErrBudget, b.maxWork)
 	}
-	if b.calls.Add(1)&1023 == 0 {
-		return b.checkTime()
-	}
-	return nil
-}
-
-func (b *tsBudget) checkTime() error {
-	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
-		return fmt.Errorf("%w: timeout", eval.ErrBudget)
-	}
-	return nil
+	return b.checkTime()
 }
 
 // Evaluate implements Engine.

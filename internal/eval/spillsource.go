@@ -28,20 +28,22 @@ const DefaultSpillCacheBytes = 256 << 20
 // evaluator pays is a hit for every other, and simultaneous misses on
 // one shard collapse into a single file read.
 type SpillSource struct {
+	// Per-evaluator attribution: accesses this source initiated,
+	// regardless of how many sources share the cache. First in the
+	// struct per the concurrency lint's atomics-prefix layout rule.
+	localHits, localLoads, localDedups, localPrefetch atomic.Int64
+
 	spill     *graphgen.CSRSpill
 	predIndex map[string]graph.PredID
 	cache     *ShardCache
 
-	// useMmap serves raw ("GMKCSR3\n") shards in place — mapped on
-	// linux, read into one slice elsewhere — instead of decoding;
-	// forceRead is the test knob that exercises the portable
-	// read-into-slice path on platforms that would map.
+	// useMmap serves raw ("GMKCSR3\n" — see graphgen's magic
+	// constants) shards in place — mapped on linux, read into one
+	// slice elsewhere — instead of decoding; forceRead is the test
+	// knob that exercises the portable read-into-slice path on
+	// platforms that would map.
 	useMmap   bool
 	forceRead bool
-
-	// Per-evaluator attribution: accesses this source initiated,
-	// regardless of how many sources share the cache.
-	localHits, localLoads, localDedups, localPrefetch atomic.Int64
 
 	mu             sync.Mutex
 	domainRebuilds int64

@@ -195,6 +195,7 @@ func (p *plan) runParallel(sink EdgeSink) error {
 	// publish into their private results slot; the close of done[i]
 	// orders the slot write before the flusher's read.
 	sem := make(chan struct{}, p.opt.workers())
+	//lint:ignore concurrency dispatcher exits after admitting n shards; the flusher below joins every worker by receiving all n done signals before returning
 	go func() {
 		for i := 0; i < n; i++ {
 			sem <- struct{}{}

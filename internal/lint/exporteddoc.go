@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ExportedDocAnalyzer is the original internal/lint check, folded into
+// the registry: every exported top-level symbol of the packages this
+// repo presents as its library surface must carry a doc comment. A
+// group comment on a var/const block counts for its members; methods
+// on unexported types are not API surface.
+var ExportedDocAnalyzer = &Analyzer{
+	Name: "exporteddoc",
+	Doc: "exported symbols of the facade, engines, eval and graphgen " +
+		"(incl. its sinks) must have doc comments",
+	Run: runExportedDoc,
+}
+
+// documentedDirs are the packages whose exported API must be fully
+// documented: the public facade, the evaluation stack, and — since the
+// sink/format layer became the serving surface — graphgen itself.
+var documentedDirs = []string{
+	"",                  // package gmark (facade)
+	"internal/engines",  // simulated engines
+	"internal/eval",     // reference evaluator + spill source
+	"internal/graphgen", // generation pipeline, sinks, on-disk formats
+}
+
+func runExportedDoc(p *Pass) {
+	for _, dir := range documentedDirs {
+		if p.Dir == dir {
+			for _, file := range p.Files {
+				checkFileDocs(p, file)
+			}
+			return
+		}
+	}
+}
+
+func checkFileDocs(p *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				p.Reportf(d.Pos(), "exported func/method %s has no doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						p.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							p.Reportf(n.Pos(), "exported var/const %s has no doc comment", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (methods on unexported types are not API surface);
+// receiver-less functions pass trivially.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regex from a `// want `+"`...`"+`
+// comment at the end of a fixture line.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// want is one expectation parsed from a fixture file.
+type want struct {
+	file string // slash-normalized path
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// loadWants scans every fixture file under root for want comments.
+func loadWants(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regex: %w", path, line, err)
+			}
+			wants = append(wants, &want{file: filepath.ToSlash(path), line: line, re: re})
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("collecting want comments: %v", err)
+	}
+	return wants
+}
+
+// lintFixtures runs the full registry once over the fixture tree; the
+// subtests below share the result.
+func lintFixtures(t *testing.T) []Diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	diags, err := LintTree(root)
+	if err != nil {
+		t.Fatalf("LintTree(%s): %v", root, err)
+	}
+	return diags
+}
+
+// TestFixtures checks the analyzers against the seeded fixture
+// packages: every finding must be announced by a want comment on its
+// line, every want comment must be matched by exactly one finding, and
+// every registered analyzer must fire at least once.
+func TestFixtures(t *testing.T) {
+	diags := lintFixtures(t)
+	wants := loadWants(t, filepath.Join("testdata", "src"))
+
+	fired := make(map[string]bool)
+	for _, d := range diags {
+		file := filepath.ToSlash(d.Pos.Filename)
+		if strings.Contains(file, "/ignorebad/") {
+			continue // covered by TestIgnoreWithoutReasonIsAFinding
+		}
+		fired[d.Analyzer] = true
+		got := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != file || w.line != d.Pos.Line || !w.re.MatchString(got) {
+				continue
+			}
+			w.used = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: want %q matched no finding", w.file, w.line, w.re)
+		}
+	}
+	for _, a := range Analyzers {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s produced no finding on its violating fixture", a.Name)
+		}
+	}
+}
+
+// TestIgnoreWithoutReasonIsAFinding pins the suppression contract: an
+// //lint:ignore with no written reason is itself a finding (by the
+// unsuppressable pseudo-analyzer "lint") and silences nothing, so the
+// violation beneath it still fires.
+func TestIgnoreWithoutReasonIsAFinding(t *testing.T) {
+	var got []Diagnostic
+	for _, d := range lintFixtures(t) {
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/ignorebad/") {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("ignorebad fixture: got %d findings, want 2 (malformed ignore + unsuppressed violation):\n%v", len(got), got)
+	}
+	if got[0].Analyzer != "lint" || !strings.Contains(got[0].Message, "needs an analyzer name and a reason") {
+		t.Errorf("first ignorebad finding should be the malformed suppression, got %s", got[0])
+	}
+	if got[1].Analyzer != "determinism" || !strings.Contains(got[1].Message, "time.Now") {
+		t.Errorf("second ignorebad finding should be the unsuppressed time.Now, got %s", got[1])
+	}
+	if got[1].Pos.Line != got[0].Pos.Line+1 {
+		t.Errorf("the reasonless ignore on line %d failed to suppress line %d yet the violation reported line %d", got[0].Pos.Line, got[0].Pos.Line+1, got[1].Pos.Line)
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// FormatsAnalyzer guards the on-disk format contracts of
+// docs/FORMATS.md module-wide: every magic string ("GMKCSR1\n",
+// "GMKDOM1\n", "GMKPRT1\n", ...) is defined as a named constant
+// exactly once, inside internal/graphgen (the encoding layer), and
+// never re-spelled at use sites; format_version numbers are referenced
+// through their named constants, not inline integer literals; and the
+// fixed-width writers never fall back to reflect-based
+// encoding/binary.Write, whose layout depends on platform-sized int
+// fields.
+var FormatsAnalyzer = &Analyzer{
+	Name: "formats",
+	Doc: "magic strings single-definition in internal/graphgen; " +
+		"format_version via named constants; no binary.Write/Read in " +
+		"format packages",
+	Finish: finishFormats,
+}
+
+// magicLitRe matches the repo's on-disk magic convention: "GMK", a
+// three-letter format tag, a version digit, and a trailing newline.
+var magicLitRe = regexp.MustCompile(`^GMK[A-Z]{3}[0-9]\n$`)
+
+// formatDefDir is the only package allowed to define magic constants:
+// the encoding layer that owns docs/FORMATS.md's byte layouts.
+const formatDefDir = "internal/graphgen"
+
+// versionConstDirs are the packages allowed to declare format-version
+// constants (graph formats and the run manifest respectively).
+var versionConstDirs = []string{"internal/graphgen", "internal/manifest"}
+
+// binaryBanDirs are the packages that serialize fixed-width data and
+// therefore must use explicit PutUint32/PutUint64-style writes.
+var binaryBanDirs = []string{"internal/graphgen", "internal/manifest", "internal/eval"}
+
+// magicOcc is one appearance of a magic string literal.
+type magicOcc struct {
+	pos     token.Pos
+	dir     string
+	inConst bool
+}
+
+func finishFormats(pkgs []*Package, report func(pos token.Pos, msg string)) {
+	occs := make(map[string][]magicOcc)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			collectMagic(pkg, file, occs)
+			checkVersionLiterals(pkg, file, report)
+			checkBinaryWrite(pkg, file, report)
+		}
+	}
+	for lit, list := range occs {
+		name := strconv.Quote(lit)
+		defs := 0
+		for _, o := range list {
+			if o.inConst {
+				defs++
+			}
+		}
+		for _, o := range list {
+			switch {
+			case !o.inConst && defs == 0:
+				report(o.pos, "magic string "+name+" has no named constant; define it exactly once in "+formatDefDir)
+			case !o.inConst:
+				report(o.pos, "magic string "+name+" re-spelled at a use site; reference the named constant defined in "+formatDefDir)
+			case defs > 1:
+				report(o.pos, "magic string "+name+" defined "+strconv.Itoa(defs)+" times; define it exactly once")
+			case !inDir(o.dir, formatDefDir):
+				report(o.pos, "magic string "+name+" defined outside "+formatDefDir+"; on-disk magics live with the encoding layer")
+			}
+		}
+	}
+}
+
+// collectMagic records every string literal matching the magic
+// convention, noting whether it appears inside a const declaration.
+func collectMagic(pkg *Package, file *ast.File, occs map[string][]magicOcc) {
+	constSpans := make(map[*ast.GenDecl]bool)
+	for _, decl := range file.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+			constSpans[gd] = true
+		}
+	}
+	inConst := func(pos token.Pos) bool {
+		for gd := range constSpans {
+			if pos >= gd.Pos() && pos < gd.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		bl, ok := n.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			return true
+		}
+		val, err := strconv.Unquote(bl.Value)
+		if err != nil || !magicLitRe.MatchString(val) {
+			return true
+		}
+		occs[val] = append(occs[val], magicOcc{bl.Pos(), pkg.Dir, inConst(bl.Pos())})
+		return true
+	})
+}
+
+// checkVersionLiterals flags integer literals assigned to, compared
+// against, or keyed as a FormatVersion field, and format-version
+// constants declared outside the encoding packages.
+func checkVersionLiterals(pkg *Package, file *ast.File, report func(pos token.Pos, msg string)) {
+	isVersionName := func(name string) bool {
+		return strings.HasSuffix(name, "FormatVersion") || name == "FormatVersion"
+	}
+	isIntLit := func(e ast.Expr) bool {
+		bl, ok := e.(*ast.BasicLit)
+		return ok && bl.Kind == token.INT
+	}
+	refersToVersionField := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return isVersionName(x.Sel.Name)
+		case *ast.Ident:
+			return isVersionName(x.Name)
+		}
+		return false
+	}
+	literal := "format_version must reference its named constant, not an inline integer literal"
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := x.Key.(*ast.Ident); ok && isVersionName(key.Name) && isIntLit(x.Value) {
+				report(x.Value.Pos(), literal)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i < len(x.Rhs) && refersToVersionField(lhs) && isIntLit(x.Rhs[i]) {
+					report(x.Rhs[i].Pos(), literal)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if refersToVersionField(x.X) && isIntLit(x.Y) {
+					report(x.Y.Pos(), literal)
+				}
+				if refersToVersionField(x.Y) && isIntLit(x.X) {
+					report(x.X.Pos(), literal)
+				}
+			}
+		case *ast.GenDecl:
+			if x.Tok != token.CONST || inAnyDir(pkg.Dir, versionConstDirs) {
+				return true
+			}
+			for _, spec := range x.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if isVersionName(name.Name) {
+						report(name.Pos(), "format-version constant "+name.Name+" declared outside the encoding packages ("+strings.Join(versionConstDirs, ", ")+")")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBinaryWrite bans reflect-based encoding/binary Write/Read in
+// the format packages: they serialize whatever field widths the struct
+// happens to have, including platform-sized int.
+func checkBinaryWrite(pkg *Package, file *ast.File, report func(pos token.Pos, msg string)) {
+	if !inAnyDir(pkg.Dir, binaryBanDirs) {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+			return true
+		}
+		if fn.Name() == "Write" || fn.Name() == "Read" {
+			report(call.Pos(), "reflect-based binary."+fn.Name()+" serializes platform-sized fields; use explicit fixed-width PutUint32/PutUint64 writes")
+		}
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// TestRepoLintClean is the tier-1 gate: the whole module must pass the
+// full analyzer registry with zero unsuppressed findings. It runs the
+// exact same LintTree entry point as cmd/gmark-lint, so the test and
+// the CLI can never disagree about what clean means.
+func TestRepoLintClean(t *testing.T) {
+	diags, err := LintTree("../..")
+	if err != nil {
+		t.Fatalf("loading module for lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("suppress only with //lint:ignore <analyzer> <reason>; see docs/LINTS.md")
+	}
+}

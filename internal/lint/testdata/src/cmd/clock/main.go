@@ -1,0 +1,13 @@
+// Package main is the clean clock fixture: cmd/ is allowlisted for
+// wall-clock use (measurement and reporting live there), so the
+// time.Now below must produce no finding.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

@@ -1,0 +1,19 @@
+// Package concurrencybad seeds both concurrency rules: a 64-bit
+// atomic field declared after a plain field, and a goroutine spawned
+// with no accounting in sight.
+package concurrencybad
+
+import "sync/atomic"
+
+// stats declares its hot counter after a plain field.
+type stats struct {
+	name string
+	hits atomic.Int64 // want `concurrency: 64-bit atomic field must be declared before non-atomic fields`
+}
+
+// fire spawns a goroutine nothing will ever join.
+func fire(s *stats) {
+	go func() { // want `concurrency: go statement without a preceding WaitGroup\.Add or slot acquisition in the same function`
+		s.hits.Add(1)
+	}()
+}

@@ -1,0 +1,53 @@
+// Package concurrencyclean shows the accounted patterns the analyzer
+// accepts: atomics as a struct prefix, WaitGroup.Add before spawn,
+// slot-ring admission before spawn, and a justified ignore for a
+// goroutine joined some other visible way.
+package concurrencyclean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// meter keeps its 64-bit atomics as a prefix of the struct.
+type meter struct {
+	hits  atomic.Int64
+	total atomic.Uint64
+	name  string
+}
+
+// waited accounts with WaitGroup.Add before spawning.
+func waited(m *meter) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.hits.Add(1)
+	}()
+	wg.Wait()
+}
+
+// admitted accounts with a semaphore send before spawning, the
+// dispatcher pattern of the graphgen/querygen pipelines.
+func admitted(m *meter) {
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{}
+	go func() {
+		defer func() { <-sem }()
+		m.hits.Add(1)
+	}()
+	sem <- struct{}{} // blocks until the goroutine releases its slot
+	<-sem
+}
+
+// justified joins its goroutine through done; the ignore records why
+// the spawn is sound, so the finding is suppressed.
+func justified(m *meter) {
+	done := make(chan struct{})
+	//lint:ignore concurrency joined by the done receive two lines down
+	go func() {
+		m.hits.Add(1)
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,25 @@
+// Package determinismbad seeds the wall-clock and global-rand
+// violations; it sits outside the allowlisted directories, so every
+// ambient read below is a finding.
+package determinismbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the ambient wall clock twice.
+func stamp() time.Duration {
+	var epoch time.Time
+	t := time.Now() // want `determinism: time\.Now in a deterministic path`
+	_ = t
+	return time.Since(epoch) // want `determinism: time\.Since in a deterministic path`
+}
+
+// draw mixes the banned global stream with the threaded-generator
+// pattern the repo actually uses; the constructors and the method on
+// the explicit *rand.Rand stay clean.
+func draw() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10) + rand.Intn(10) // want `determinism: global math/rand\.Intn draws from the ambient shared stream`
+}

@@ -1,0 +1,40 @@
+// Package formatsbad seeds one violation of every formats rule except
+// the binary.Write ban (which lives in the internal/eval fixture,
+// since the ban only applies to the format packages).
+package formatsbad
+
+const outsideMagic = "GMKOUT1\n" // want `formats: magic string "GMKOUT1\\n" defined outside internal/graphgen`
+
+const (
+	dupMagicA = "GMKDUP1\n" // want `formats: magic string "GMKDUP1\\n" defined 2 times`
+	dupMagicB = "GMKDUP1\n" // want `formats: magic string "GMKDUP1\\n" defined 2 times`
+)
+
+// respell re-spells a magic that internal/graphgen already defines.
+func respell() string {
+	return "GMKUSE1\n" // want `formats: magic string "GMKUSE1\\n" re-spelled at a use site`
+}
+
+// orphan uses a magic that no const anywhere defines.
+func orphan() string {
+	return "GMKORF1\n" // want `formats: magic string "GMKORF1\\n" has no named constant`
+}
+
+// badFormatVersion is a version constant declared outside the
+// encoding packages.
+const badFormatVersion = 9 // want `formats: format-version constant badFormatVersion declared outside the encoding packages`
+
+type index struct {
+	FormatVersion int
+}
+
+func roundTrip(idx *index) bool {
+	out := index{
+		FormatVersion: 3, // want `formats: format_version must reference its named constant`
+	}
+	out.FormatVersion = 2      // want `formats: format_version must reference its named constant`
+	if idx.FormatVersion > 3 { // want `formats: format_version must reference its named constant`
+		return false
+	}
+	return out.FormatVersion == idx.FormatVersion
+}

@@ -1,0 +1,13 @@
+// Package ignorebad holds a suppression with no written reason: the
+// malformed ignore is itself a finding (pseudo-analyzer "lint"), and
+// it silences nothing, so the time.Now below still fires too. This
+// package is checked by a dedicated test, not want comments.
+package ignorebad
+
+import "time"
+
+// now tries to suppress without writing a reason.
+func now() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

@@ -1,0 +1,22 @@
+// Package evalfix sits at the fixture-relative dir internal/eval,
+// where both the binary.Write ban and the exported-doc requirement
+// apply.
+package evalfix
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// header is a fixed-layout record; its platform-sized int field is
+// exactly why reflect-based serialization is banned here.
+type header struct {
+	Count int
+}
+
+// writeHeader falls back to reflect-based serialization.
+func writeHeader(w io.Writer, h *header) error {
+	return binary.Write(w, binary.LittleEndian, h) // want `formats: reflect-based binary\.Write serializes platform-sized fields`
+}
+
+func Undocumented() {} // want `exporteddoc: exported func/method Undocumented has no doc comment`

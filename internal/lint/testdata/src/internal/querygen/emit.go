@@ -1,0 +1,27 @@
+// Package queryfix exercises the unsorted-map-emission rule: its
+// fixture-relative dir internal/querygen is an emission package, so a
+// map range feeding append without a later sort is a finding, while
+// the collect-then-sort variant in the same file stays clean.
+package queryfix
+
+import "sort"
+
+// unsortedEmit appends in map-iteration order: nondeterministic.
+func unsortedEmit(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `determinism: map iteration order is randomized but this loop feeds ordered output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedEmit collects then sorts after the loop: the idiom justifies
+// itself and needs no ignore.
+func sortedEmit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

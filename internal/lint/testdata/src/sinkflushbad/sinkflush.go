@@ -1,0 +1,26 @@
+// Package sinkflushbad seeds the PR-3 leak class: exported functions
+// that drive a sink without guaranteeing Flush on every path.
+package sinkflushbad
+
+// edgeSink is the minimal sink shape: the type name ends in "Sink"
+// and the method set includes Flush.
+type edgeSink interface {
+	AddEdge(src, label, dst int) error
+	Flush() error
+}
+
+// Drive pushes one edge and returns without ever flushing.
+func Drive(s edgeSink) error { // want `sinkflush: Drive drives s but never flushes it`
+	return s.AddEdge(1, 2, 3)
+}
+
+// EmitAll flushes on the success path only; the early error return
+// strands the sink's buffers.
+func EmitAll(s edgeSink, n int) error { // want `sinkflush: EmitAll can return between driving s and s\.Flush`
+	for i := 0; i < n; i++ {
+		if err := s.AddEdge(i, 0, i+1); err != nil {
+			return err
+		}
+	}
+	return s.Flush()
+}

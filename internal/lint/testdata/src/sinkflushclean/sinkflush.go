@@ -1,0 +1,37 @@
+// Package sinkflushclean shows the discharge patterns the analyzer
+// accepts: a deferred Flush, an unconditional tail Flush, a hand-off
+// that transfers the obligation, and an unexported driver (internal
+// helpers are covered through their exported callers).
+package sinkflushclean
+
+// rowSink mirrors the sink shape.
+type rowSink interface {
+	AddEdge(src, label, dst int) error
+	Flush() error
+}
+
+// Deferred drives under a deferred Flush: every path discharges.
+func Deferred(s rowSink) error {
+	defer s.Flush()
+	return s.AddEdge(1, 2, 3)
+}
+
+// Tail drives then flushes unconditionally on the only return.
+func Tail(s rowSink, n int) error {
+	for i := 0; i < n; i++ {
+		s.AddEdge(i, 0, i+1)
+	}
+	return s.Flush()
+}
+
+// Delegates hands the sink to drain, transferring the obligation.
+func Delegates(s rowSink) error {
+	return drain(s)
+}
+
+func drain(s rowSink) error {
+	if err := s.AddEdge(0, 0, 0); err != nil {
+		return err
+	}
+	return s.Flush()
+}

@@ -94,6 +94,7 @@ func (g *Generator) emitParallel(units []queryUnit, opt Options, sink QuerySink)
 	var aborted atomic.Bool
 
 	sem := make(chan struct{}, k)
+	//lint:ignore concurrency dispatcher exits after admitting n queries; the ordered flush below joins every worker by draining all n done signals before returning
 	go func() {
 		for i := 0; i < n; i++ {
 			sem <- struct{}{}
