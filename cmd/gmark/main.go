@@ -16,6 +16,7 @@
 //	gmark -usecase bib -verify -syntax sparql,sql -workload-out ./queries
 //	gmark -eval-spill ./out/csr -eval-query "authors-.authors" -eval-cache-mb 64
 //	gmark -eval-spill ./out/csr -eval-query "(authors-.authors)*" -eval-engine all
+//	gmark serve -addr :8080
 package main
 
 import (
@@ -44,6 +45,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gmark: ")
+
+	// The serve subcommand has its own flag set; everything else is the
+	// classic single-command batch CLI.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 
 	var (
 		configPath  = flag.String("config", "", "gMark XML configuration file (overrides -usecase)")

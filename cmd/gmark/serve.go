@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"gmark/internal/serve"
+)
+
+// serveMain runs the deterministic slice server:
+//
+//	gmark serve -addr :8080
+//
+// Clients POST job specs to /v1/jobs and fetch graph shards and
+// workload windows on demand; every slice is generated from the spec
+// at request time and its bytes are pinned equal to what the batch
+// sinks write for the same coordinates (see docs/SERVING.md).
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("gmark serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheMB    = fs.Int("cache-mb", 0, "slice-cache budget in MiB (0 = default 256 MiB)")
+		maxJobs    = fs.Int("max-jobs", 0, "registered-job ceiling (0 = default 1024)")
+		maxNodes   = fs.Int("max-nodes", 0, "largest graph a job may configure, in nodes (0 = default 10M)")
+		maxQueries = fs.Int("max-queries", 0, "largest workload a job may configure, in queries (0 = default 1M)")
+		par        = fs.Int("parallelism", 0, "generation workers per slice (0 = all cores; slice bytes are identical for any value)")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		log.Fatalf("serve: unexpected arguments %q", fs.Args())
+	}
+	srv := serve.New(serve.Options{
+		CacheBytes:  int64(*cacheMB) << 20,
+		MaxJobs:     *maxJobs,
+		MaxNodes:    *maxNodes,
+		MaxQueries:  *maxQueries,
+		Parallelism: *par,
+	})
+	log.Printf("slice server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -43,6 +43,7 @@ import (
 	"gmark/internal/regpath"
 	"gmark/internal/schema"
 	"gmark/internal/selectivity"
+	"gmark/internal/serve"
 	"gmark/internal/translate"
 	"gmark/internal/usecases"
 	"gmark/internal/workload"
@@ -546,6 +547,46 @@ var (
 	WriteRunManifest = manifest.Write
 	// ReadRunManifest loads and validates a manifest.
 	ReadRunManifest = manifest.Read
+)
+
+// Serving (generation-as-a-service; `gmark serve`).
+type (
+	// SliceServer is the deterministic HTTP slice server behind
+	// `gmark serve`: clients register generation jobs and fetch any
+	// graph shard or workload window on demand, with slice bytes
+	// pinned equal to what the batch sinks write for the same
+	// coordinates. It implements http.Handler.
+	SliceServer = serve.Server
+	// SliceServerOptions bounds a SliceServer: slice-cache budget,
+	// job-registry size, per-job node and query ceilings, and the
+	// generation parallelism behind each slice (which never changes
+	// slice bytes).
+	SliceServerOptions = serve.Options
+	// SliceServerStats is a server's /statsz payload: request and
+	// byte counters plus slice-cache statistics.
+	SliceServerStats = serve.Stats
+	// SliceCacheStats reports the slice cache's hit, miss and
+	// eviction counters.
+	SliceCacheStats = serve.CacheStats
+	// JobManifest is the /manifest payload describing one registered
+	// job's slice coordinate space.
+	JobManifest = serve.JobManifest
+	// JobSpec is the wire format a client POSTs to register one
+	// generation job.
+	JobSpec = manifest.JobSpec
+	// JobWorkloadSpec is the workload half of a JobSpec.
+	JobWorkloadSpec = manifest.JobWorkloadSpec
+)
+
+var (
+	// NewSliceServer builds a slice server with the given bounds.
+	NewSliceServer = serve.New
+	// EncodeJobSpec renders a job spec in its canonical wire form —
+	// the bytes whose hash is the job ID.
+	EncodeJobSpec = manifest.EncodeJobSpec
+	// DecodeJobSpec strictly parses a wire job spec, rejecting
+	// unknown fields and unsupported format versions.
+	DecodeJobSpec = manifest.DecodeJobSpec
 )
 
 // StreamGraph generates an instance directly to w in edge-list form

@@ -1,12 +1,11 @@
 package engines
 
 import (
-	"path/filepath"
 	"testing"
 
 	"gmark/internal/eval"
 	"gmark/internal/graphgen"
-	"gmark/internal/usecases"
+	"gmark/internal/testutil"
 )
 
 // TestEnginesOverMmapSpillMatchInMemory: every engine run through
@@ -16,26 +15,13 @@ import (
 // mmap acceptance property; eval's TestRawMmapCountsIdentical covers
 // the reference evaluator.
 func TestEnginesOverMmapSpillMatchInMemory(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 220)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 11})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := filepath.Join(t.TempDir(), "csr")
-	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, 20, graphgen.SpillCompressRaw); err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 220)
+	g, dir := testutil.SpillComp(t, "bib", 220, 20, 11, graphgen.SpillCompressRaw)
 	src, err := eval.OpenSpillSourceWith(dir, eval.SpillSourceOptions{Mmap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var preds []string
-	for _, p := range cfg.Schema.Predicates {
-		preds = append(preds, p.Name)
-	}
+	preds := testutil.Predicates(cfg)
 	opt := eval.EvalOptions{Workers: 2, Prefetch: 2}
 	for qi, q := range engineSpillQueries(preds) {
 		for _, eng := range All() {

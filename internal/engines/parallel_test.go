@@ -5,9 +5,8 @@ import (
 	"testing"
 
 	"gmark/internal/eval"
-	"gmark/internal/graphgen"
 	"gmark/internal/query"
-	"gmark/internal/usecases"
+	"gmark/internal/testutil"
 )
 
 // TestWorkerEnginesMatchSequential pins the engine half of the
@@ -47,22 +46,9 @@ func TestWorkerEnginesMatchSequential(t *testing.T) {
 // so parallel engine workers exercise the shared shard cache under
 // -race, including the tiny-budget eviction path.
 func TestWorkerEnginesOverSpill(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 200)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 16); err != nil {
-		t.Fatal(err)
-	}
-	preds := make([]string, 0, 2)
-	for _, p := range cfg.Schema.Predicates {
-		preds = append(preds, p.Name)
-	}
+	cfg := testutil.Config(t, "bib", 200)
+	g, dir := testutil.Spill(t, "bib", 200, 16, 7)
+	preds := testutil.Predicates(cfg)
 	for _, eng := range []WorkerEngine{NewTripleStore(), NewGraphDB()} {
 		for qi, q := range engineSpillQueries(preds) {
 			want, err := eng.Evaluate(g, q, eval.Budget{})

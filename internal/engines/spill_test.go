@@ -1,7 +1,6 @@
 package engines
 
 import (
-	"path/filepath"
 	"sync"
 	"testing"
 
@@ -9,6 +8,7 @@ import (
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
 	"gmark/internal/regpath"
+	"gmark/internal/testutil"
 	"gmark/internal/usecases"
 )
 
@@ -62,26 +62,13 @@ func TestEnginesOverSpillMatchInMemory(t *testing.T) {
 			if shardNodes == 1 {
 				n = 100 // width 1 writes two files per (node, predicate)
 			}
-			cfg, err := usecases.ByName(name, n)
-			if err != nil {
-				t.Fatal(err)
-			}
-			g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 11})
-			if err != nil {
-				t.Fatal(err)
-			}
-			dir := filepath.Join(t.TempDir(), "csr")
-			if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
-				t.Fatal(err)
-			}
+			cfg := testutil.Config(t, name, n)
+			g, dir := testutil.Spill(t, name, n, shardNodes, 11)
 			// Small budget: engine access patterns must survive
 			// evictions mid-evaluation, not just a warm cache.
 			src := eval.NewSpillSource(mustOpen(t, dir), 1<<13)
 
-			var preds []string
-			for _, p := range cfg.Schema.Predicates {
-				preds = append(preds, p.Name)
-			}
+			preds := testutil.Predicates(cfg)
 			var wg sync.WaitGroup
 			for qi, q := range engineSpillQueries(preds) {
 				for _, eng := range All() {
@@ -141,26 +128,13 @@ func mustOpen(t *testing.T, dir string) *graphgen.CSRSpill {
 // engines' counts must stay engine-independent out of core exactly as
 // they are in memory.
 func TestEnginesAgainstReferenceOverSpill(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 200)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := filepath.Join(t.TempDir(), "csr")
-	if err := graphgen.WriteCSRSpillFromGraph(dir, g, 31); err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 200)
+	_, dir := testutil.Spill(t, "bib", 200, 31, 3)
 	src, err := eval.OpenSpillSource(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var preds []string
-	for _, p := range cfg.Schema.Predicates {
-		preds = append(preds, p.Name)
-	}
+	preds := testutil.Predicates(cfg)
 	for qi, q := range engineSpillQueries(preds) {
 		want, err := eval.CountOverSpill(src, q, eval.Budget{})
 		if err != nil {

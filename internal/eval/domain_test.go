@@ -11,34 +11,26 @@ import (
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
 	"gmark/internal/regpath"
-	"gmark/internal/usecases"
+	"gmark/internal/testutil"
 )
+
+// evalFixtureSeed is the generation seed shared by this package's
+// spill fixtures.
+const evalFixtureSeed = 7
 
 // buildSpill generates a use-case instance and spills it at the given
 // shard width in the default (v3 varint) encoding, returning the
 // frozen graph and the spill directory.
 func buildSpill(t *testing.T, uc string, n, shardNodes int) (*graph.Graph, string) {
 	t.Helper()
-	return buildSpillComp(t, uc, n, shardNodes, graphgen.SpillCompressVarint)
+	return testutil.Spill(t, uc, n, shardNodes, evalFixtureSeed)
 }
 
 // buildSpillComp is buildSpill with an explicit shard encoding, for
 // the cross-version compatibility fixtures.
 func buildSpillComp(t *testing.T, uc string, n, shardNodes int, comp graphgen.SpillCompression) (*graph.Graph, string) {
 	t.Helper()
-	cfg, err := usecases.ByName(uc, n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := filepath.Join(t.TempDir(), "csr")
-	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
-		t.Fatal(err)
-	}
-	return g, dir
+	return testutil.SpillComp(t, uc, n, shardNodes, evalFixtureSeed, comp)
 }
 
 // stripDomains rewrites a spill directory into the legacy

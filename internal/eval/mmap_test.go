@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gmark/internal/graphgen"
+	"gmark/internal/testutil"
 	"gmark/internal/usecases"
 )
 
@@ -32,10 +33,7 @@ func TestRawMmapCountsIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/width=%d", uc, width), func(t *testing.T) {
 				t.Parallel()
 				g, dir := buildSpillComp(t, uc, size, width, graphgen.SpillCompressRaw)
-				cfg, err := usecases.ByName(uc, size)
-				if err != nil {
-					t.Fatal(err)
-				}
+				cfg := testutil.Config(t, uc, size)
 				pred := cfg.Schema.Predicates[0].Name
 				for _, expr := range []string{pred, pred + "-." + pred, "(" + pred + ")*"} {
 					q := chainQuery(t, expr)

@@ -7,6 +7,7 @@ import (
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
 	"gmark/internal/regpath"
+	"gmark/internal/testutil"
 	"gmark/internal/usecases"
 )
 
@@ -21,26 +22,13 @@ func TestParallelCountMatchesSequential(t *testing.T) {
 			if shardNodes == 1 {
 				n = 150 // width 1 writes two files per (node, predicate)
 			}
-			cfg, err := usecases.ByName(name, n)
-			if err != nil {
-				t.Fatal(err)
-			}
-			g, err := graphgen.Generate(cfg, graphgen.Options{Seed: 7})
-			if err != nil {
-				t.Fatal(err)
-			}
-			dir := t.TempDir()
-			if err := graphgen.WriteCSRSpillFromGraph(dir, g, shardNodes); err != nil {
-				t.Fatal(err)
-			}
+			cfg := testutil.Config(t, name, n)
+			g, dir := testutil.Spill(t, name, n, shardNodes, evalFixtureSeed)
 			src, err := OpenSpillSource(dir, 1<<14)
 			if err != nil {
 				t.Fatal(err)
 			}
-			preds := make([]string, 0, 2)
-			for _, p := range cfg.Schema.Predicates {
-				preds = append(preds, p.Name)
-			}
+			preds := testutil.Predicates(cfg)
 			for qi, q := range spillTestQueries(preds) {
 				want, err := Count(g, q, Budget{})
 				if err != nil {
@@ -84,10 +72,7 @@ func pairQuery(expr string) *query.Query {
 // number of node ranges with any active source for the predicate.
 func TestSharedResidencyFleet(t *testing.T) {
 	g, dir := buildSpill(t, "bib", 400, 25)
-	cfg, err := usecases.ByName("bib", 400)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 400)
 	pred := cfg.Schema.Predicates[0].Name
 	q := pairQuery(pred)
 
@@ -152,10 +137,7 @@ func TestSharedResidencyFleet(t *testing.T) {
 // evaluator.
 func TestSharedCacheAcrossSources(t *testing.T) {
 	_, dir := buildSpill(t, "bib", 400, 25)
-	cfg, err := usecases.ByName("bib", 400)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 400)
 	q := pairQuery(cfg.Schema.Predicates[0].Name)
 
 	spill, err := graphgen.OpenCSRSpill(dir)

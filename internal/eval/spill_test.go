@@ -9,6 +9,7 @@ import (
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
 	"gmark/internal/regpath"
+	"gmark/internal/testutil"
 	"gmark/internal/usecases"
 )
 
@@ -80,10 +81,7 @@ func TestSpillSourceCountMatchesInMemory(t *testing.T) {
 			if shardNodes == 1 {
 				n = 150 // width 1 writes two files per (node, predicate)
 			}
-			cfg, err := usecases.ByName(name, n)
-			if err != nil {
-				t.Fatal(err)
-			}
+			cfg := testutil.Config(t, name, n)
 			opt := graphgen.Options{Seed: 7}
 			g, err := graphgen.Generate(cfg, opt)
 			if err != nil {
@@ -154,10 +152,7 @@ func TestSpillSourceCountMatchesInMemory(t *testing.T) {
 // TestSpillSourceUnknownPredicate: a query naming a predicate the
 // spill does not carry must fail cleanly, like the in-memory path.
 func TestSpillSourceUnknownPredicate(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 100)
 	dir := filepath.Join(t.TempDir(), "csr")
 	sink, err := graphgen.NewCSRSpillSink(dir, cfg, 0)
 	if err != nil {
@@ -183,10 +178,7 @@ func TestSpillSourceUnknownPredicate(t *testing.T) {
 // opened source must surface as an error from CountOverSpill, never a
 // silent short count.
 func TestSpillSourceMissingShard(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 200)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 200)
 	dir := filepath.Join(t.TempDir(), "csr")
 	sink, err := graphgen.NewCSRSpillSink(dir, cfg, 50)
 	if err != nil {
@@ -227,10 +219,7 @@ func TestSpillSourceMissingShard(t *testing.T) {
 // failure) must also trip the sticky error — a broken spill must never
 // read as a sparse one.
 func TestSpillSourceTruncatedManifest(t *testing.T) {
-	cfg, err := usecases.ByName("bib", 200)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, "bib", 200)
 	dir := filepath.Join(t.TempDir(), "csr")
 	sink, err := graphgen.NewCSRSpillSink(dir, cfg, 50)
 	if err != nil {

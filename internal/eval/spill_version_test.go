@@ -7,6 +7,7 @@ import (
 	"gmark/internal/graphgen"
 	"gmark/internal/query"
 	"gmark/internal/regpath"
+	"gmark/internal/testutil"
 	"gmark/internal/usecases"
 )
 
@@ -22,10 +23,7 @@ func spillVersionFixtures(t *testing.T, uc string, n, shardNodes int) (want map[
 	_, v3z := buildSpillComp(t, uc, n, shardNodes, graphgen.SpillCompressDeflate)
 	dirs = map[string]string{"v1": v1, "v2": v2, "v3-varint": v3, "v3-deflate": v3z}
 
-	cfg, err := usecases.ByName(uc, n)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cfg := testutil.Config(t, uc, n)
 	pred := cfg.Schema.Predicates[0].Name
 	want = make(map[string]int64)
 	for _, expr := range []string{pred, pred + "-." + pred, "(" + pred + ")*"} {

@@ -278,6 +278,59 @@ func encodeCSRShardV3(off, adj []int32, comp SpillCompression) ([]byte, error) {
 	return append(out, payload...), nil
 }
 
+// encodeCSRShardV1 renders one complete legacy ("GMKCSR1\n") shard
+// file image: magic, node and edge counts, the rebased offsets, then
+// the adjacency — all little-endian uint32s. off follows the same
+// convention as the other shard encoders: the global offset slice of
+// the shard's range, rebased here so the stored off[0] is 0.
+func encodeCSRShardV1(off, adj []int32) []byte {
+	nLocal := len(off) - 1
+	base := off[0]
+	local := adj[base:off[nLocal]]
+	out := make([]byte, len(csrMagic)+8+4*(nLocal+1)+4*len(local))
+	copy(out, csrMagic)
+	binary.LittleEndian.PutUint32(out[len(csrMagic):], uint32(nLocal))
+	binary.LittleEndian.PutUint32(out[len(csrMagic)+4:], uint32(len(local)))
+	p := len(csrMagic) + 8
+	for i, v := range off {
+		binary.LittleEndian.PutUint32(out[p+4*i:], uint32(v-base))
+	}
+	p += 4 * (nLocal + 1)
+	for i, v := range local {
+		binary.LittleEndian.PutUint32(out[p+4*i:], uint32(v))
+	}
+	return out
+}
+
+// EncodeCSRShard renders one complete shard file image — the exact
+// bytes the batch spill writers put on disk — in the layout comp
+// selects: the legacy raw-uint32 layout (SpillCompressNone), the
+// mappable page-padded layout (SpillCompressRaw), or the delta-varint
+// v3 layout with an optional per-shard DEFLATE frame
+// (SpillCompressVarint / SpillCompressDeflate). off is the global
+// offset slice of the shard's node range (nLocal+1 entries, not
+// necessarily rebased); adj is the full adjacency the offsets index
+// into, rows sorted ascending. It is the single byte-layout
+// definition shared by WriteCSRSpillFromGraph, CSRSpillSink and the
+// slice server, so a shard served on demand cannot drift from its
+// batch twin.
+func EncodeCSRShard(off, adj []int32, comp SpillCompression) ([]byte, error) {
+	if err := checkSpillCompression(comp); err != nil {
+		return nil, err
+	}
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graphgen: shard has no offset array")
+	}
+	switch comp {
+	case SpillCompressNone:
+		return encodeCSRShardV1(off, adj), nil
+	case SpillCompressRaw:
+		return encodeCSRShardRaw(off, adj), nil
+	default:
+		return encodeCSRShardV3(off, adj, comp)
+	}
+}
+
 // deflateBytes wraps b in a DEFLATE stream at the default level.
 func deflateBytes(b []byte) ([]byte, error) {
 	var buf bytes.Buffer

@@ -137,6 +137,46 @@ func Emit(cfg *schema.GraphConfig, opt Options, sink EdgeSink) (int, error) {
 	return p.emitted, nil
 }
 
+// EmitPredicate runs the generation pipeline into sink for a single
+// predicate: only the emission shards of constraints labeled pred are
+// scheduled, with the exact sub-seeds and relative flush order they
+// have in a full Emit of the same (configuration, options) — so the
+// sink observes precisely the full run's subsequence for that
+// predicate, edge for edge. This is the slice-serving entry point:
+// because shard sub-seeds are fixed at plan time, any process can
+// answer "the edges of predicate p" without generating the rest of
+// the instance and without any shared state. Flush is ALWAYS called
+// once the plan is valid and the predicate known, exactly as in Emit.
+func EmitPredicate(cfg *schema.GraphConfig, opt Options, pred string, sink EdgeSink) (int, error) {
+	p, err := newPlan(cfg, opt)
+	if err != nil {
+		return 0, err
+	}
+	pi := cfg.Schema.PredicateIndex(pred)
+	if pi < 0 {
+		return 0, fmt.Errorf("graphgen: unknown predicate %q", pred)
+	}
+	kept := p.shards[:0]
+	for i := range p.shards {
+		if p.shards[i].cp.pred == graph.PredID(pi) {
+			kept = append(kept, p.shards[i])
+		}
+	}
+	p.shards = kept
+	runErr := p.run(sink)
+	if runErr != nil {
+		abortSink(sink) // don't finalize indexes over partial output
+	}
+	flushErr := sink.Flush()
+	if runErr != nil {
+		return 0, runErr
+	}
+	if flushErr != nil {
+		return 0, flushErr
+	}
+	return p.emitted, nil
+}
+
 // run executes the emission stage against the sink, sequentially or
 // across workers.
 func (p *plan) run(sink EdgeSink) error {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -83,21 +84,23 @@ type PartitionedSink struct {
 	typeCounts []int
 	predNames  []string
 
-	files   []*os.File
-	ws      []*bufio.Writer
-	per     []int
-	edges   int
-	line    []byte
-	prevs   []int64 // binary mode: previous src per predicate
-	prevd   []int64 // binary mode: previous dst per predicate
-	aborted bool
+	files    []io.WriteCloser
+	ws       []*bufio.Writer
+	per      []int
+	edges    int
+	line     []byte
+	prevs    []int64 // binary mode: previous src per predicate
+	prevd    []int64 // binary mode: previous dst per predicate
+	aborted  bool
+	flushed  bool  // Flush already ran; its result is sticky
+	flushErr error // the first Flush's result, replayed on reuse
 }
 
 // NewPartitionedSink creates dir (and parents) and opens one text edge
 // file per predicate of the configuration's schema.
 func NewPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, error) {
 	typeNames, typeCounts, predNames := resolveLayout(cfg)
-	return newPartitionedSink(dir, typeNames, typeCounts, predNames, false)
+	return newPartitionedSink(dir, typeNames, typeCounts, predNames, false, nil)
 }
 
 // NewBinaryPartitionedSink is NewPartitionedSink in binary mode: each
@@ -105,37 +108,43 @@ func NewPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, 
 // format_version 2 partition layout) instead of text lines.
 func NewBinaryPartitionedSink(dir string, cfg *schema.GraphConfig) (*PartitionedSink, error) {
 	typeNames, typeCounts, predNames := resolveLayout(cfg)
-	return newPartitionedSink(dir, typeNames, typeCounts, predNames, true)
+	return newPartitionedSink(dir, typeNames, typeCounts, predNames, true, nil)
 }
 
-func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNames []string, binary bool) (*PartitionedSink, error) {
+// newPartitionedSink is the shared constructor. create opens one edge
+// file; nil selects os.Create. Tests inject failing writers through it
+// to exercise the full-disk/short-write error paths.
+func newPartitionedSink(dir string, typeNames []string, typeCounts []int, predNames []string, binaryMode bool, create func(string) (io.WriteCloser, error)) (*PartitionedSink, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if create == nil {
+		create = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+	}
 	ps := &PartitionedSink{
 		dir:        dir,
-		binary:     binary,
+		binary:     binaryMode,
 		typeNames:  typeNames,
 		typeCounts: typeCounts,
 		predNames:  predNames,
-		files:      make([]*os.File, len(predNames)),
+		files:      make([]io.WriteCloser, len(predNames)),
 		ws:         make([]*bufio.Writer, len(predNames)),
 		per:        make([]int, len(predNames)),
 		line:       make([]byte, 0, 32),
 	}
-	if binary {
+	if binaryMode {
 		ps.prevs = make([]int64, len(predNames))
 		ps.prevd = make([]int64, len(predNames))
 	}
 	for i := range predNames {
-		f, err := os.Create(filepath.Join(dir, partitionFileName(i, predNames[i], binary)))
+		f, err := create(filepath.Join(dir, partitionFileName(i, predNames[i], binaryMode)))
 		if err != nil {
 			ps.closeAll()
 			return nil, err
 		}
 		ps.files[i] = f
 		ps.ws[i] = bufio.NewWriterSize(f, 1<<18)
-		if binary {
+		if binaryMode {
 			if _, err := ps.ws[i].WriteString(partitionEdgeMagic); err != nil {
 				ps.closeAll()
 				return nil, err
@@ -165,6 +174,49 @@ func partitionFileName(i int, name string, binary bool) string {
 	return fmt.Sprintf("edges-%03d-%s.%s", i, b.String(), ext)
 }
 
+// appendTextEdge appends one "src dst" line of the text partition
+// layout.
+func appendTextEdge(b []byte, src, dst graph.NodeID) []byte {
+	b = strconv.AppendInt(b, int64(src), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(dst), 10)
+	return append(b, '\n')
+}
+
+// appendVarintEdge appends one binary delta-varint pair — the zigzag
+// deltas of src and dst against the running previous pair — updating
+// the previous-pair state in place.
+func appendVarintEdge(b []byte, prevs, prevd *int64, src, dst graph.NodeID) []byte {
+	b = binary.AppendUvarint(b, zigzag(int64(src)-*prevs))
+	b = binary.AppendUvarint(b, zigzag(int64(dst)-*prevd))
+	*prevs, *prevd = int64(src), int64(dst)
+	return b
+}
+
+// EncodePartitionedEdges renders the complete byte content of one
+// predicate's partition edge file from its edges in emission order:
+// "src dst" text lines, or — in binary mode — the magic-headed
+// delta-varint pair stream of the format_version 2 layout. Both modes
+// go through the exact appenders PartitionedSink writes with, so a
+// slice served from re-emitted edges is byte-identical to the batch
+// file by construction.
+func EncodePartitionedEdges(srcs, dsts []graph.NodeID, binaryMode bool) []byte {
+	if binaryMode {
+		out := make([]byte, 0, len(partitionEdgeMagic)+4*len(srcs)+16)
+		out = append(out, partitionEdgeMagic...)
+		var prevs, prevd int64
+		for i := range srcs {
+			out = appendVarintEdge(out, &prevs, &prevd, srcs[i], dsts[i])
+		}
+		return out
+	}
+	out := make([]byte, 0, 8*len(srcs)+16)
+	for i := range srcs {
+		out = appendTextEdge(out, srcs[i], dsts[i])
+	}
+	return out
+}
+
 // AddEdge implements EdgeSink.
 func (ps *PartitionedSink) AddEdge(src graph.NodeID, pred graph.PredID, dst graph.NodeID) error {
 	ps.per[pred]++
@@ -172,11 +224,7 @@ func (ps *PartitionedSink) AddEdge(src graph.NodeID, pred graph.PredID, dst grap
 	if ps.binary {
 		return ps.writePair(pred, src, dst)
 	}
-	b := ps.line[:0]
-	b = strconv.AppendInt(b, int64(src), 10)
-	b = append(b, ' ')
-	b = strconv.AppendInt(b, int64(dst), 10)
-	b = append(b, '\n')
+	b := appendTextEdge(ps.line[:0], src, dst)
 	ps.line = b
 	_, err := ps.ws[pred].Write(b)
 	return err
@@ -185,11 +233,8 @@ func (ps *PartitionedSink) AddEdge(src graph.NodeID, pred graph.PredID, dst grap
 // writePair appends one binary delta-varint pair: the zigzag deltas of
 // src and dst against the predicate's previous pair.
 func (ps *PartitionedSink) writePair(pred graph.PredID, src, dst graph.NodeID) error {
-	b := ps.line[:0]
-	b = binary.AppendUvarint(b, zigzag(int64(src)-ps.prevs[pred]))
-	b = binary.AppendUvarint(b, zigzag(int64(dst)-ps.prevd[pred]))
+	b := appendVarintEdge(ps.line[:0], &ps.prevs[pred], &ps.prevd[pred], src, dst)
 	ps.line = b
-	ps.prevs[pred], ps.prevd[pred] = int64(src), int64(dst)
 	_, err := ps.ws[pred].Write(b)
 	return err
 }
@@ -208,11 +253,7 @@ func (ps *PartitionedSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.No
 	}
 	w := ps.ws[pred]
 	for i := range srcs {
-		b := ps.line[:0]
-		b = strconv.AppendInt(b, int64(srcs[i]), 10)
-		b = append(b, ' ')
-		b = strconv.AppendInt(b, int64(dsts[i]), 10)
-		b = append(b, '\n')
+		b := appendTextEdge(ps.line[:0], srcs[i], dsts[i])
 		ps.line = b
 		if _, err := w.Write(b); err != nil {
 			return err
@@ -228,8 +269,16 @@ func (ps *PartitionedSink) AddEdgeBatch(pred graph.PredID, srcs, dsts []graph.No
 func (ps *PartitionedSink) Abort() { ps.aborted = true }
 
 // Flush implements EdgeSink: it drains and closes every edge file and
-// writes the JSON index (unless the run was aborted).
+// writes the JSON index (unless the run was aborted). Flush is
+// idempotent and its result sticky: a second call replays the first
+// outcome instead of re-walking the (now closed) files — a failed
+// first Flush must never let a retry finalize index.json over the
+// partial output it just reported.
 func (ps *PartitionedSink) Flush() error {
+	if ps.flushed {
+		return ps.flushErr
+	}
+	ps.flushed = true
 	var firstErr error
 	for i, w := range ps.ws {
 		if ps.files[i] == nil {
@@ -244,6 +293,7 @@ func (ps *PartitionedSink) Flush() error {
 		ps.files[i] = nil
 	}
 	if firstErr != nil || ps.aborted {
+		ps.flushErr = firstErr
 		return firstErr
 	}
 	idx := PartitionIndex{Edges: ps.edges}
@@ -265,7 +315,8 @@ func (ps *PartitionedSink) Flush() error {
 		}
 		idx.Predicates = append(idx.Predicates, p)
 	}
-	return writeJSONFile(filepath.Join(ps.dir, partitionIndexFile), &idx)
+	ps.flushErr = writeJSONFile(filepath.Join(ps.dir, partitionIndexFile), &idx)
+	return ps.flushErr
 }
 
 // Edges returns the number of edges written so far.

@@ -273,29 +273,48 @@ func (sp *shardPlan) expectedEdges() int {
 	return sp.cp.expectedEdges()/sp.cp.shards + 16
 }
 
+// expectedEdgesOf estimates one constraint's emitted edge count (the
+// min-side expectation of Fig. 5) against a resolved configuration.
+func expectedEdgesOf(cfg *schema.GraphConfig, c schema.EdgeConstraint) float64 {
+	var out, in float64
+	hasOut, hasIn := c.Out.Specified(), c.In.Specified()
+	if hasOut {
+		out = float64(cfg.TypeCount(c.Source)) * c.Out.Mean()
+	}
+	if hasIn {
+		in = float64(cfg.TypeCount(c.Target)) * c.In.Mean()
+	}
+	switch {
+	case hasOut && hasIn:
+		return min(out, in)
+	case hasOut:
+		return out
+	default:
+		return in
+	}
+}
+
 // ExpectedEdges estimates the number of edges Stream/Generate will
 // produce for a configuration: the min-side expectation per constraint
 // (useful for pre-sizing and for the Table 3 reporting).
 func ExpectedEdges(cfg *schema.GraphConfig) int {
 	total := 0.0
 	for _, c := range cfg.Schema.Constraints {
-		nSrc := float64(cfg.TypeCount(c.Source))
-		nTrg := float64(cfg.TypeCount(c.Target))
-		var out, in float64
-		hasOut, hasIn := c.Out.Specified(), c.In.Specified()
-		if hasOut {
-			out = nSrc * c.Out.Mean()
-		}
-		if hasIn {
-			in = nTrg * c.In.Mean()
-		}
-		switch {
-		case hasOut && hasIn:
-			total += min(out, in)
-		case hasOut:
-			total += out
-		default:
-			total += in
+		total += expectedEdgesOf(cfg, c)
+	}
+	return int(total)
+}
+
+// ExpectedPredicateEdges estimates the number of edges Stream/Generate
+// will produce for one predicate of a configuration: the summed
+// min-side expectation of the constraints labeled pred. The slice
+// server surfaces it alongside each served slice as a size estimate,
+// so clients can plan without fetching.
+func ExpectedPredicateEdges(cfg *schema.GraphConfig, pred string) int {
+	total := 0.0
+	for _, c := range cfg.Schema.Constraints {
+		if c.Predicate == pred {
+			total += expectedEdgesOf(cfg, c)
 		}
 	}
 	return int(total)

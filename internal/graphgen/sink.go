@@ -47,6 +47,15 @@ func addBatch(sink EdgeSink, pred graph.PredID, srcs, dsts []graph.NodeID) error
 	return nil
 }
 
+// Layout resolves a configuration's contiguous node layout: the node
+// types with their resolved counts (global node ids number the types
+// one after another in schema order) and the predicate names in schema
+// order. Every sink and the slice server derive node identity from
+// this one mapping.
+func Layout(cfg *schema.GraphConfig) (typeNames []string, typeCounts []int, predNames []string) {
+	return resolveLayout(cfg)
+}
+
 // resolveLayout resolves a configuration's node-type and predicate
 // layout, shared by every sink constructor that needs it so header and
 // node ids cannot drift apart between sinks fed by one pass.

@@ -1,7 +1,6 @@
 package graphgen
 
 import (
-	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -69,6 +68,12 @@ const (
 	// when the sink is created with shardNodes = 0.
 	defaultCSRShardNodes = 1 << 20
 )
+
+// DefaultCSRShardNodes is the node-range width of one CSR spill shard
+// when the caller does not choose one (the shardNodes = 0 default of
+// NewCSRSpillSink). The slice server uses it to compute the same range
+// boundaries a batch spill run would.
+const DefaultCSRShardNodes = defaultCSRShardNodes
 
 // CSRManifest is the JSON manifest of a CSR spill directory. Encoding
 // (format_version >= 3) records the writer's shard-compression
@@ -609,69 +614,17 @@ func writeCSRDirection(dir string, shardNodes, numNodes, p int, tag string, off,
 // writeCSRShard writes one shard file in the layout comp selects. off
 // is the global offset slice of the shard's node range (hi-lo+1
 // entries); offsets are rebased so the stored off[0] is 0 and adj
-// holds only the shard's entries.
+// holds only the shard's entries. All byte layouts are defined by
+// EncodeCSRShard, which the slice server also serves through.
 func writeCSRShard(path string, off []int32, adj []int32, comp SpillCompression) (int, error) {
-	base := off[0]
-	local := adj[base:off[len(off)-1]]
-	if comp == SpillCompressRaw {
-		return len(local), os.WriteFile(path, encodeCSRShardRaw(off, adj), 0o644)
-	}
-	if comp != SpillCompressNone {
-		img, err := encodeCSRShardV3(off, adj, comp)
-		if err != nil {
-			return 0, err
-		}
-		return len(local), os.WriteFile(path, img, 0o644)
-	}
-	f, err := os.Create(path)
+	img, err := EncodeCSRShard(off, adj, comp)
 	if err != nil {
 		return 0, err
 	}
-	bw := bufio.NewWriterSize(f, 1<<18)
-	if _, err := bw.WriteString(csrMagic); err != nil {
-		f.Close()
+	if err := os.WriteFile(path, img, 0o644); err != nil {
 		return 0, err
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(off)-1))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(local)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := writeUint32s(bw, off, -base); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := writeUint32s(bw, local, 0); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	return len(local), f.Close()
-}
-
-// writeUint32s streams v (shifted by delta) as little-endian uint32s
-// through a fixed chunk buffer.
-func writeUint32s(bw *bufio.Writer, v []int32, delta int32) error {
-	var buf [4096]byte
-	for len(v) > 0 {
-		n := len(buf) / 4
-		if n > len(v) {
-			n = len(v)
-		}
-		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v[i]+delta))
-		}
-		if _, err := bw.Write(buf[:4*n]); err != nil {
-			return err
-		}
-		v = v[n:]
-	}
-	return nil
+	return int(off[len(off)-1] - off[0]), nil
 }
 
 // CSRSpill is an opened spill directory: the manifest plus shard

@@ -1,0 +1,113 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JobSpecFormatVersion identifies the serving job-spec wire schema;
+// bump on incompatible changes. It follows the same discipline as the
+// run manifest's FormatVersion: a decoder rejects any other version
+// instead of guessing at the payload's meaning.
+const JobSpecFormatVersion = 1
+
+// JobSpec is the wire format a client POSTs to register one
+// generation-as-a-service job: the run manifest's (config, seed,
+// options) identity re-cast as a request payload. Everything a batch
+// run fixes up front — the schema configuration, the master seed, the
+// shard/encoding options — is carried here, because together they
+// pin every slice of the job byte-for-byte: the same spec always
+// serves the same bytes, on any server, in any request order.
+type JobSpec struct {
+	// FormatVersion must be JobSpecFormatVersion.
+	FormatVersion int `json:"format_version"`
+	// Usecase names a built-in paper scenario (bib, lsn, sp, wd).
+	Usecase string `json:"usecase"`
+	// Nodes is the requested instance size (number of graph nodes).
+	Nodes int `json:"nodes"`
+	// Seed drives all generation; equal specs serve equal bytes.
+	Seed int64 `json:"seed"`
+	// ShardEdges is graphgen.Options.ShardEdges: the emission shard
+	// granularity. 0 selects the default; the value is part of the
+	// job's byte identity.
+	ShardEdges int `json:"shard_edges,omitempty"`
+	// ShardNodes is the node-range width of one CSR graph slice
+	// (graphgen's spill shardNodes). 0 selects the spill default.
+	ShardNodes int `json:"shard_nodes,omitempty"`
+	// SpillCompress is the default CSR slice encoding: "none", "raw",
+	// "varint" (default when empty), or "deflate".
+	SpillCompress string `json:"spill_compress,omitempty"`
+	// Workload configures the job's query workload.
+	Workload JobWorkloadSpec `json:"workload"`
+}
+
+// JobWorkloadSpec is the workload half of a JobSpec.
+type JobWorkloadSpec struct {
+	// Count is the number of queries in the workload.
+	Count int `json:"count"`
+	// Kind selects the paper's workload families: "len", "dis", "con"
+	// (default when empty), or "rec".
+	Kind string `json:"kind,omitempty"`
+	// Classes restricts chain queries to selectivity classes
+	// ("constant", "linear", "quadratic"); empty keeps the kind's
+	// defaults.
+	Classes []string `json:"classes,omitempty"`
+	// Syntaxes lists the query syntaxes the job serves; empty means
+	// all supported syntaxes.
+	Syntaxes []string `json:"syntaxes,omitempty"`
+}
+
+// Validate performs the structural checks a spec must pass before a
+// server resolves it: version pinning and basic field sanity. Schema
+// resolution (use-case lookup, workload-kind and syntax validation)
+// stays with the resolver, which owns those vocabularies.
+func (s *JobSpec) Validate() error {
+	if s.FormatVersion != JobSpecFormatVersion {
+		return fmt.Errorf("manifest: job spec format_version %d unsupported (want %d)", s.FormatVersion, JobSpecFormatVersion)
+	}
+	if s.Usecase == "" {
+		return fmt.Errorf("manifest: job spec names no usecase")
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("manifest: job spec nodes %d must be positive", s.Nodes)
+	}
+	if s.ShardEdges < -1 {
+		return fmt.Errorf("manifest: job spec shard_edges %d invalid (want >= -1)", s.ShardEdges)
+	}
+	if s.ShardNodes < 0 {
+		return fmt.Errorf("manifest: job spec shard_nodes %d must be non-negative", s.ShardNodes)
+	}
+	if s.Workload.Count < 0 {
+		return fmt.Errorf("manifest: job spec workload count %d must be non-negative", s.Workload.Count)
+	}
+	return nil
+}
+
+// DecodeJobSpec parses a wire job spec strictly: unknown fields,
+// trailing garbage, and any format_version other than
+// JobSpecFormatVersion are rejected, so a client typo can never
+// silently register a job other than the one it meant.
+func DecodeJobSpec(data []byte) (*JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("manifest: job spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("manifest: job spec: trailing data after JSON value")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// EncodeJobSpec renders a spec in its canonical wire form: fixed field
+// order, no indentation. Two equal specs encode to equal bytes, which
+// is what lets a server derive a deterministic job ID from the
+// encoding.
+func EncodeJobSpec(s *JobSpec) ([]byte, error) {
+	return json.Marshal(s)
+}

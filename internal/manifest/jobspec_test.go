@@ -1,0 +1,92 @@
+package manifest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validSpec() *JobSpec {
+	return &JobSpec{
+		FormatVersion: JobSpecFormatVersion,
+		Usecase:       "bib",
+		Nodes:         1000,
+		Seed:          42,
+		ShardNodes:    256,
+		SpillCompress: "varint",
+		Workload: JobWorkloadSpec{
+			Count:    8,
+			Kind:     "con",
+			Classes:  []string{"constant", "linear"},
+			Syntaxes: []string{"sparql", "cypher"},
+		},
+	}
+}
+
+func TestJobSpecRoundTrip(t *testing.T) {
+	want := validSpec()
+	data, err := EncodeJobSpec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the spec:\n got %+v\nwant %+v", got, want)
+	}
+	// Canonical form: re-encoding the decoded spec is byte-identical,
+	// the property job IDs are derived from.
+	data2, err := EncodeJobSpec(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("encoding not canonical:\n first %s\nsecond %s", data, data2)
+	}
+}
+
+func TestDecodeJobSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the error
+	}{
+		{"empty", ``, "job spec"},
+		{"not json", `nonsense`, "job spec"},
+		{"wrong version", `{"format_version":99,"usecase":"bib","nodes":10,"seed":1,"workload":{"count":1}}`, "format_version"},
+		{"missing version", `{"usecase":"bib","nodes":10,"seed":1,"workload":{"count":1}}`, "format_version"},
+		{"unknown field", `{"format_version":1,"usecase":"bib","nodes":10,"seed":1,"workload":{"count":1},"bogus":true}`, "unknown field"},
+		{"no usecase", `{"format_version":1,"nodes":10,"seed":1,"workload":{"count":1}}`, "usecase"},
+		{"zero nodes", `{"format_version":1,"usecase":"bib","nodes":0,"seed":1,"workload":{"count":1}}`, "nodes"},
+		{"negative nodes", `{"format_version":1,"usecase":"bib","nodes":-5,"seed":1,"workload":{"count":1}}`, "nodes"},
+		{"negative count", `{"format_version":1,"usecase":"bib","nodes":10,"seed":1,"workload":{"count":-1}}`, "count"},
+		{"bad shard_edges", `{"format_version":1,"usecase":"bib","nodes":10,"seed":1,"shard_edges":-2,"workload":{"count":1}}`, "shard_edges"},
+		{"negative shard_nodes", `{"format_version":1,"usecase":"bib","nodes":10,"seed":1,"shard_nodes":-1,"workload":{"count":1}}`, "shard_nodes"},
+		{"trailing data", `{"format_version":1,"usecase":"bib","nodes":10,"seed":1,"workload":{"count":1}} {"x":1}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeJobSpec([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("DecodeJobSpec accepted %q", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJobSpecValidateAcceptsDefaults(t *testing.T) {
+	s := &JobSpec{FormatVersion: JobSpecFormatVersion, Usecase: "wd", Nodes: 1, Workload: JobWorkloadSpec{}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	// ShardEdges -1 (disable intra-constraint sharding) is legal.
+	s.ShardEdges = -1
+	if err := s.Validate(); err != nil {
+		t.Fatalf("shard_edges -1 rejected: %v", err)
+	}
+}

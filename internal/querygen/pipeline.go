@@ -31,12 +31,30 @@ func (g *Generator) GenerateWith(opt Options) ([]*query.Query, error) {
 // release them; the emission error takes precedence over a flush
 // error.
 func (g *Generator) Emit(opt Options, sink QuerySink) (int, error) {
+	return g.EmitWindow(opt, 0, g.cfg.Count, sink)
+}
+
+// EmitWindow is Emit restricted to the query-index window [from, to):
+// the workload is planned exactly as in a full run — every unit keeps
+// the sub-seed and workload-level assignment its index has in the
+// complete workload — and only the window's units are emitted, in
+// ascending index order. A window of one query therefore produces the
+// identical query a full run delivers at that index, which is what
+// lets a server answer any workload window on demand without
+// generating the rest. Flush is ALWAYS called, exactly as in Emit; an
+// out-of-bounds window is an error (after flushing).
+func (g *Generator) EmitWindow(opt Options, from, to int, sink QuerySink) (int, error) {
 	units := g.planWorkload()
 	var err error
-	if opt.workers() == 1 || len(units) <= 1 {
-		err = g.emitSequential(units, sink)
+	if from < 0 || to > len(units) || from > to {
+		err = fmt.Errorf("querygen: window [%d, %d) outside workload of %d queries", from, to, len(units))
 	} else {
-		err = g.emitParallel(units, opt, sink)
+		units = units[from:to]
+		if opt.workers() == 1 || len(units) <= 1 {
+			err = g.emitSequential(units, sink)
+		} else {
+			err = g.emitParallel(units, opt, sink)
+		}
 	}
 	flushErr := sink.Flush()
 	if err != nil {

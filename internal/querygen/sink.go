@@ -82,6 +82,7 @@ type SyntaxDirSink struct {
 	dir      string
 	syntaxes []translate.Syntax
 	count    int
+	create   func(string) (io.WriteCloser, error)
 
 	jobs  chan dirWriteJob
 	wg    sync.WaitGroup
@@ -110,6 +111,14 @@ var syntaxDirWriters = min(8, runtime.GOMAXPROCS(0))
 // exactly one workload (a fresh sparql-only run must not leave another
 // workload's cypher files next to its output).
 func NewSyntaxDirSink(dir string, syntaxes []translate.Syntax) (*SyntaxDirSink, error) {
+	return newSyntaxDirSink(dir, syntaxes, nil)
+}
+
+// newSyntaxDirSink is the shared constructor. create opens one query
+// file for writing; nil selects os.Create. Tests inject failing
+// writers through it to exercise the full-disk/short-write error
+// paths.
+func newSyntaxDirSink(dir string, syntaxes []translate.Syntax, create func(string) (io.WriteCloser, error)) (*SyntaxDirSink, error) {
 	if len(syntaxes) == 0 {
 		syntaxes = translate.Syntaxes
 	}
@@ -132,7 +141,10 @@ func NewSyntaxDirSink(dir string, syntaxes []translate.Syntax) (*SyntaxDirSink, 
 			}
 		}
 	}
-	s := &SyntaxDirSink{dir: dir, syntaxes: syntaxes}
+	if create == nil {
+		create = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+	}
+	s := &SyntaxDirSink{dir: dir, syntaxes: syntaxes, create: create}
 	workers := syntaxDirWriters
 	if workers < 1 {
 		workers = 1
@@ -155,7 +167,7 @@ func (s *SyntaxDirSink) writeLoop() {
 		if s.sticky() != nil {
 			continue // an earlier write failed; drain cheaply
 		}
-		f, err := os.Create(job.path)
+		f, err := s.create(job.path)
 		if err != nil {
 			s.fail(err)
 			continue
@@ -188,6 +200,38 @@ func (s *SyntaxDirSink) fail(err error) {
 	s.mu.Unlock()
 }
 
+// QueryFileContent renders the exact bytes SyntaxDirSink writes into
+// query-<index>.<syn>: the comment header in the syntax's comment
+// style, the rule lines, then the translated query text with a
+// guaranteed trailing newline. It is the single definition of the
+// per-query file bytes, shared by the batch sink and the slice
+// server's workload windows, so a window served over HTTP cannot
+// drift from the batch file.
+func QueryFileContent(index int, q *query.Query, syn translate.Syntax) ([]byte, error) {
+	text, err := translate.To(syn, q, translate.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("querygen: query %d: %w", index, err)
+	}
+	var b strings.Builder
+	c := commentPrefix(syn)
+	fmt.Fprintf(&b, "%s gmark query %d: shape=%s", c, index, q.Shape)
+	if q.HasClass {
+		fmt.Fprintf(&b, " selectivity=%s", q.Class)
+	}
+	if q.Relaxed {
+		fmt.Fprintf(&b, " relaxed")
+	}
+	b.WriteByte('\n')
+	for _, r := range q.Rules {
+		fmt.Fprintf(&b, "%s   %s\n", c, r.String())
+	}
+	b.WriteString(text)
+	if !strings.HasSuffix(text, "\n") {
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), nil
+}
+
 // AddQuery implements QuerySink: it translates the query into every
 // requested syntax and hands the files to the writer pool.
 func (s *SyntaxDirSink) AddQuery(index int, q *query.Query) error {
@@ -195,29 +239,12 @@ func (s *SyntaxDirSink) AddQuery(index int, q *query.Query) error {
 		return err // fail fast instead of translating into a dead pool
 	}
 	for _, syn := range s.syntaxes {
-		text, err := translate.To(syn, q, translate.Options{})
+		content, err := QueryFileContent(index, q, syn)
 		if err != nil {
-			return fmt.Errorf("querygen: query %d: %w", index, err)
-		}
-		var b strings.Builder
-		c := commentPrefix(syn)
-		fmt.Fprintf(&b, "%s gmark query %d: shape=%s", c, index, q.Shape)
-		if q.HasClass {
-			fmt.Fprintf(&b, " selectivity=%s", q.Class)
-		}
-		if q.Relaxed {
-			fmt.Fprintf(&b, " relaxed")
-		}
-		b.WriteByte('\n')
-		for _, r := range q.Rules {
-			fmt.Fprintf(&b, "%s   %s\n", c, r.String())
-		}
-		b.WriteString(text)
-		if !strings.HasSuffix(text, "\n") {
-			b.WriteByte('\n')
+			return err
 		}
 		name := fmt.Sprintf("query-%d.%s", index, syn)
-		s.jobs <- dirWriteJob{path: filepath.Join(s.dir, name), content: []byte(b.String())}
+		s.jobs <- dirWriteJob{path: filepath.Join(s.dir, name), content: content}
 	}
 	s.count++
 	return nil

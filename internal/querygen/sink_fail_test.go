@@ -1,0 +1,137 @@
+package querygen
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"gmark/internal/dist"
+	"gmark/internal/query"
+	"gmark/internal/schema"
+)
+
+// failSinkConfig hand-builds a tiny two-predicate schema (the internal
+// test cannot import usecases, which itself imports querygen) so the
+// failing-writer tests run a real generator against the sink.
+func failSinkConfig(t *testing.T) Config {
+	t.Helper()
+	gcfg := &schema.GraphConfig{
+		Nodes: 100,
+		Schema: schema.Schema{
+			Types: []schema.NodeType{
+				{Name: "a", Occurrence: schema.Proportion(0.5)},
+				{Name: "b", Occurrence: schema.Proportion(0.5)},
+			},
+			Predicates: []schema.Predicate{
+				{Name: "p", Occurrence: schema.Proportion(0.6)},
+				{Name: "q", Occurrence: schema.Proportion(0.4)},
+			},
+			Constraints: []schema.EdgeConstraint{
+				{Source: "a", Target: "b", Predicate: "p",
+					In: dist.NewGaussian(2, 1), Out: dist.NewGaussian(2, 1)},
+				{Source: "b", Target: "a", Predicate: "q",
+					In: dist.NewGaussian(2, 1), Out: dist.NewGaussian(2, 1)},
+			},
+		},
+	}
+	return Config{
+		Graph: gcfg,
+		Count: 6,
+		Arity: query.Interval{Min: 2, Max: 2},
+		Size: query.Size{
+			Rules:     query.Interval{Min: 1, Max: 1},
+			Conjuncts: query.Interval{Min: 1, Max: 2},
+			Disjuncts: query.Interval{Min: 1, Max: 2},
+			Length:    query.Interval{Min: 1, Max: 2},
+		},
+		Seed: 17,
+	}
+}
+
+// errWriteFailed is the injected write failure.
+var errWriteFailed = errors.New("injected: no space left on device")
+
+// failingFile fails every write after limit bytes; Close reports
+// closeErr.
+type failingFile struct {
+	limit    int
+	closeErr error
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if f.limit <= 0 {
+		return 0, errWriteFailed
+	}
+	if len(p) > f.limit {
+		n := f.limit
+		f.limit = 0
+		return n, errWriteFailed
+	}
+	f.limit -= len(p)
+	return len(p), nil
+}
+
+func (f *failingFile) Close() error { return f.closeErr }
+
+// TestSyntaxDirSinkFullDisk pins the full-disk contract: when a query
+// file write fails mid-run, the pipeline reports the first write
+// error from Flush (emission itself may finish first — the writer
+// pool is asynchronous) and a repeated Flush replays the same error.
+func TestSyntaxDirSinkFullDisk(t *testing.T) {
+	gen, err := New(failSinkConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	create := func(path string) (io.WriteCloser, error) {
+		return &failingFile{limit: 8}, nil
+	}
+	sink, err := newSyntaxDirSink(t.TempDir(), nil, create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Emit(Options{}, sink); !errors.Is(err, errWriteFailed) {
+		t.Fatalf("Emit returned %v, want the injected write error", err)
+	}
+	if err := sink.Flush(); !errors.Is(err, errWriteFailed) {
+		t.Fatalf("second Flush returned %v, want the first error replayed", err)
+	}
+}
+
+// TestSyntaxDirSinkCreateError covers the open path: a failing file
+// open (disk full at create time) surfaces exactly like a failed
+// write.
+func TestSyntaxDirSinkCreateError(t *testing.T) {
+	gen, err := New(failSinkConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openErr := errors.New("injected: open failed")
+	create := func(path string) (io.WriteCloser, error) { return nil, openErr }
+	sink, err := newSyntaxDirSink(t.TempDir(), nil, create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Emit(Options{}, sink); !errors.Is(err, openErr) {
+		t.Fatalf("Emit returned %v, want the injected open error", err)
+	}
+}
+
+// TestSyntaxDirSinkCloseError covers deferred write-back failures
+// surfacing from Close.
+func TestSyntaxDirSinkCloseError(t *testing.T) {
+	gen, err := New(failSinkConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeErr := errors.New("injected: close failed")
+	create := func(path string) (io.WriteCloser, error) {
+		return &failingFile{limit: 1 << 30, closeErr: closeErr}, nil
+	}
+	sink, err := newSyntaxDirSink(t.TempDir(), nil, create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Emit(Options{}, sink); !errors.Is(err, closeErr) {
+		t.Fatalf("Emit returned %v, want the injected close error", err)
+	}
+}

@@ -1,0 +1,70 @@
+package querygen_test
+
+import (
+	"testing"
+
+	"gmark/internal/querygen"
+	"gmark/internal/translate"
+)
+
+// TestEmitWindowMatchesFullRun pins the window contract the slice
+// server depends on: every query of EmitWindow [from, to) is identical
+// to the query a full run delivers at the same index — including a
+// window of one.
+func TestEmitWindowMatchesFullRun(t *testing.T) {
+	cfg := bibConfig(t, 31)
+	gen, err := querygen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != cfg.Count {
+		t.Fatalf("full run produced %d queries, want %d", len(full), cfg.Count)
+	}
+
+	windows := [][2]int{{0, cfg.Count}, {2, 7}, {cfg.Count - 1, cfg.Count}, {4, 4}}
+	for _, w := range windows {
+		from, to := w[0], w[1]
+		sink := &querygen.SliceSink{}
+		n, err := gen.EmitWindow(querygen.Options{}, from, to, sink)
+		if err != nil {
+			t.Fatalf("window [%d, %d): %v", from, to, err)
+		}
+		if n != to-from || len(sink.Queries) != to-from {
+			t.Fatalf("window [%d, %d) delivered %d queries", from, to, len(sink.Queries))
+		}
+		for i, q := range sink.Queries {
+			idx := from + i
+			want, err := querygen.QueryFileContent(idx, full[idx], translate.SPARQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := querygen.QueryFileContent(idx, q, translate.SPARQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("window [%d, %d): query %d differs from the full run:\n got %s\nwant %s",
+					from, to, idx, got, want)
+			}
+		}
+	}
+}
+
+// TestEmitWindowRejectsOutOfBounds checks window validation (after
+// flushing, like every pipeline error path).
+func TestEmitWindowRejectsOutOfBounds(t *testing.T) {
+	cfg := bibConfig(t, 31)
+	gen, err := querygen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][2]int{{-1, 2}, {0, cfg.Count + 1}, {5, 3}} {
+		if _, err := gen.EmitWindow(querygen.Options{}, w[0], w[1], &querygen.SliceSink{}); err == nil {
+			t.Errorf("window [%d, %d) accepted", w[0], w[1])
+		}
+	}
+}

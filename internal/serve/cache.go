@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// sliceKey identifies one cached slice. It is a comparable value: two
+// requests for the same slice — whatever their URL spelling — collapse
+// onto one key, one computation, one cache entry.
+type sliceKey struct {
+	jobID string
+	kind  string // "graph" or "workload"
+	pred  string
+	dir   byte   // 'f' or 'b' for CSR slices
+	rng   int    // node-range index; -1 means the whole graph
+	enc   string // "text", "binary", or a SpillCompression name
+	from  int    // workload window start
+	to    int    // workload window end
+	syn   string // workload syntax
+}
+
+// sliceEntry is one resident cache entry.
+type sliceEntry struct {
+	key  sliceKey
+	data []byte
+}
+
+// inflightSlice coalesces concurrent loads of one key: the first
+// requester computes, the rest wait on done and share the result.
+type inflightSlice struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// CacheStats is the cache half of the /statsz payload.
+type CacheStats struct {
+	// Hits counts lookups served from a resident entry or a coalesced
+	// in-flight computation.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to compute the slice.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to stay under the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of resident slices.
+	Entries int `json:"entries"`
+	// Bytes is the current resident payload size.
+	Bytes int64 `json:"bytes"`
+}
+
+// sliceCache is a byte-budgeted LRU of computed slices with
+// single-flight load coalescing. All state sits behind one mutex;
+// loads run outside it.
+type sliceCache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+	ll        *list.List // front = most recently used
+	entries   map[sliceKey]*list.Element
+	inflight  map[sliceKey]*inflightSlice
+}
+
+// newSliceCache returns an empty cache with the given byte budget.
+func newSliceCache(budget int64) *sliceCache {
+	c := &sliceCache{
+		budget:   budget,
+		ll:       list.New(),
+		entries:  make(map[sliceKey]*list.Element),
+		inflight: make(map[sliceKey]*inflightSlice),
+	}
+	return c
+}
+
+// get returns the slice for key, computing it with load on a miss.
+// Concurrent gets of the same key run load once. The returned bool
+// reports whether the bytes came from the cache (or a coalesced
+// flight) rather than a fresh computation by this caller. Callers must
+// not mutate the returned bytes.
+func (c *sliceCache) get(key sliceKey, load func() ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		data := el.Value.(*sliceEntry).data
+		c.mu.Unlock()
+		return data, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.data, true, fl.err
+	}
+	fl := &inflightSlice{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.data, fl.err = load()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.insert(key, fl.data)
+	}
+	c.mu.Unlock()
+	return fl.data, false, fl.err
+}
+
+// insert adds an entry and evicts from the cold end until the budget
+// holds. A slice larger than the whole budget is served but never
+// cached. Caller holds the lock.
+func (c *sliceCache) insert(key sliceKey, data []byte) {
+	if int64(len(data)) > c.budget {
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		return // a racing flight already populated it
+	}
+	c.entries[key] = c.ll.PushFront(&sliceEntry{key: key, data: data})
+	c.bytes += int64(len(data))
+	for c.bytes > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*sliceEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ent.key)
+		c.bytes -= int64(len(ent.data))
+		c.evictions++
+	}
+}
+
+// stats returns a snapshot of the cache counters.
+func (c *sliceCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gmark/internal/manifest"
+)
+
+// fuzzServer returns a small-limit server plus one registered job for
+// the slice fuzzers to aim at.
+func fuzzServer(t testing.TB) (*Server, string) {
+	srv := New(Options{MaxJobs: 8, MaxNodes: 10_000, MaxQueries: 64, Parallelism: 1})
+	spec := &manifest.JobSpec{
+		FormatVersion: manifest.JobSpecFormatVersion,
+		Usecase:       "bib",
+		Nodes:         130,
+		Seed:          3,
+		ShardNodes:    64,
+		Workload:      manifest.JobWorkloadSpec{Count: 4},
+	}
+	body, err := manifest.EncodeJobSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, herr := srv.register(body)
+	if herr != nil {
+		t.Fatalf("register: %d %s", herr.code, herr.msg)
+	}
+	return srv, j.id
+}
+
+// do drives one request through the server without a network listener.
+func do(srv *Server, method, path, rawQuery string, body []byte) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(method, "http://gmark.test/", bytes.NewReader(body))
+	// Assign the fuzzed path and query directly: httptest.NewRequest
+	// panics on unparseable URLs, but a real listener would happily
+	// deliver these bytes, so the handlers must survive them.
+	r.URL.Path = path
+	r.URL.RawQuery = rawQuery
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, r)
+	return rr
+}
+
+// FuzzJobSpec feeds hostile job specs to POST /v1/jobs: whatever the
+// bytes, the server must not panic, must never answer 5xx, and must
+// not register a job unless it accepted the spec.
+func FuzzJobSpec(f *testing.F) {
+	valid, err := manifest.EncodeJobSpec(&manifest.JobSpec{
+		FormatVersion: manifest.JobSpecFormatVersion,
+		Usecase:       "bib",
+		Nodes:         100,
+		Seed:          1,
+		Workload:      manifest.JobWorkloadSpec{Count: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(``)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"format_version":1}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":-1,"seed":0,"workload":{"count":0}}`)
+	f.Add(`{"format_version":99,"usecase":"bib","nodes":10,"seed":0,"workload":{"count":0}}`)
+	f.Add(`{"format_version":1,"usecase":"zzz","nodes":10,"seed":0,"workload":{"count":0}}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":10,"seed":0,"spill_compress":"zstd","workload":{"count":0}}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":10,"seed":0,"workload":{"count":1,"kind":"xxx"}}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":10,"seed":0,"workload":{"count":1,"classes":["cubic"]}}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":10,"seed":0,"workload":{"count":1,"syntaxes":["cobol"]}}`)
+	f.Add(`{"format_version":1,"usecase":"bib","nodes":999999999,"seed":0,"workload":{"count":0}}`)
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		srv := New(Options{MaxJobs: 4, MaxNodes: 10_000, MaxQueries: 64, Parallelism: 1})
+		before := srv.Stats().Jobs
+		rr := do(srv, http.MethodPost, "/v1/jobs", "", []byte(spec))
+		if rr.Code >= 500 {
+			t.Fatalf("spec %q: status %d", spec, rr.Code)
+		}
+		after := srv.Stats().Jobs
+		accepted := rr.Code == http.StatusCreated
+		if accepted && after != before+1 {
+			t.Fatalf("spec %q: accepted but job count went %d -> %d", spec, before, after)
+		}
+		if !accepted && after != before {
+			t.Fatalf("spec %q: rejected with %d but job count went %d -> %d", spec, rr.Code, before, after)
+		}
+	})
+}
+
+// FuzzSliceRange aims arbitrary slice coordinates at a registered
+// job's read endpoints: any (predicate, range, query-string) must get
+// a clean response — never a panic, never a 5xx, never an out-of-range
+// access.
+func FuzzSliceRange(f *testing.F) {
+	srv, jobID := fuzzServer(f)
+
+	f.Add("authors", "0", "")
+	f.Add("authors", "all", "enc=text")
+	f.Add("authors", "all", "enc=binary")
+	f.Add("authors", "1", "dir=b&compress=deflate")
+	f.Add("authors", "-1", "")
+	f.Add("authors", "999999999999999999999", "enc=text")
+	f.Add("nope", "0", "")
+	f.Add("../../etc/passwd", "0", "enc=text")
+	f.Add("authors", "all", "enc=csr")
+	f.Add("authors", "0", "enc=binary&dir=x")
+	f.Add("a%2Fb", "0x10", "compress=zstd")
+	f.Add("", "", "from=0&to=99999&syntax=sparql")
+	f.Add("w", "0", "from=-1&to=2&syntax=sql")
+
+	f.Fuzz(func(t *testing.T, pred, rng, rawQuery string) {
+		paths := []string{
+			"/v1/jobs/" + jobID + "/graph/" + pred + "/" + rng,
+			"/v1/jobs/" + jobID + "/workload",
+			"/v1/jobs/" + pred + "/manifest",
+		}
+		for _, path := range paths {
+			rr := do(srv, http.MethodGet, path, rawQuery, nil)
+			if rr.Code >= 500 {
+				t.Fatalf("GET %s?%s: status %d: %s", path, rawQuery, rr.Code, rr.Body.Bytes())
+			}
+		}
+	})
+}

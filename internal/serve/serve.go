@@ -1,0 +1,155 @@
+// Package serve turns gMark generation into a deterministic HTTP
+// service. A client registers a job — the (use case, size, seed,
+// encoding) identity of one generation run, carried as the
+// internal/manifest JobSpec wire format — and then fetches any slice
+// of that run on demand: a node-range shard of any predicate's graph
+// in text, binary-partition, or CSR bytes, or any window of the query
+// workload in any supported syntax.
+//
+// The core contract is byte determinism: a slice is a pure function of
+// (spec, slice coordinates). Nothing is generated at registration
+// time; every slice is recomputed (or served from a bounded LRU cache)
+// when asked for, using the same sub-seed derivations the batch
+// pipeline uses. Two servers given the same spec serve identical
+// bytes, in any request order, at any concurrency — and those bytes
+// are identical to what the batch sinks (PartitionedSink, CSRSpillSink,
+// SyntaxDirSink) write to disk for the same configuration.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Server. The zero value selects sensible
+// defaults; limits exist so a hostile or typo'd spec cannot ask one
+// request to materialize a billion-node instance.
+type Options struct {
+	// CacheBytes bounds the slice cache (default 256 MiB).
+	CacheBytes int64
+	// MaxJobs bounds the number of registered jobs (default 1024).
+	MaxJobs int
+	// MaxNodes bounds a job's instance size (default 10,000,000).
+	MaxNodes int
+	// MaxQueries bounds a job's workload size (default 1,000,000).
+	MaxQueries int
+	// Parallelism is the worker count used when computing a slice;
+	// 0 means GOMAXPROCS. It never affects the served bytes.
+	Parallelism int
+}
+
+// defaults returns opt with zero fields replaced by their defaults.
+func (o Options) defaults() Options {
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 10_000_000
+	}
+	if o.MaxQueries <= 0 {
+		o.MaxQueries = 1_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Server is the HTTP slice server. It holds no generated data beyond
+// the bounded slice cache: jobs are specs, and slices are recomputed
+// deterministically on demand. Safe for concurrent use.
+type Server struct {
+	// Request counters come first so the struct layout satisfies the
+	// repo's atomic-alignment rule.
+	requests     atomic.Int64
+	slicesServed atomic.Int64
+	bytesServed  atomic.Int64
+
+	opt   Options
+	mux   *http.ServeMux
+	cache *sliceCache
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	jobList []string // registration order, for stable listings
+}
+
+// New returns a Server ready to be passed to http.Serve (or driven
+// directly through ServeHTTP in tests).
+func New(opt Options) *Server {
+	s := &Server{
+		opt:   opt.defaults(),
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*job),
+		cache: newSliceCache(opt.defaults().CacheBytes),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/graph/{predicate}/{range}", s.handleGraphSlice)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/workload", s.handleWorkload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	// Requests counts every request the server has seen.
+	Requests int64 `json:"requests"`
+	// SlicesServed counts successfully served graph and workload
+	// slices.
+	SlicesServed int64 `json:"slices_served"`
+	// BytesServed totals the payload bytes of served slices.
+	BytesServed int64 `json:"bytes_served"`
+	// Jobs is the number of registered jobs.
+	Jobs int `json:"jobs"`
+	// Cache reports the slice cache counters.
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return Stats{
+		Requests:     s.requests.Load(),
+		SlicesServed: s.slicesServed.Load(),
+		BytesServed:  s.bytesServed.Load(),
+		Jobs:         jobs,
+		Cache:        s.cache.stats(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writeJSON writes v as an indented JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

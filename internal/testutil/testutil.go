@@ -1,0 +1,68 @@
+// Package testutil holds the use-case fixtures shared by the eval,
+// engines, and serve test suites: resolving a built-in paper scenario,
+// generating its graph at a fixed seed, and spilling it to a CSR
+// directory. Centralizing the setup keeps every suite pinned to the
+// same fixture recipe — a suite that needs a different instance varies
+// the (use case, size, seed) arguments, not the construction code.
+package testutil
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gmark/internal/graph"
+	"gmark/internal/graphgen"
+	"gmark/internal/schema"
+	"gmark/internal/usecases"
+)
+
+// Config resolves a built-in use case at the given instance size.
+func Config(t testing.TB, uc string, n int) *schema.GraphConfig {
+	t.Helper()
+	cfg, err := usecases.ByName(uc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// Graph resolves a use case and generates its instance at the given
+// seed, returning both the configuration and the frozen graph.
+func Graph(t testing.TB, uc string, n int, seed int64) (*schema.GraphConfig, *graph.Graph) {
+	t.Helper()
+	cfg := Config(t, uc, n)
+	g, err := graphgen.Generate(cfg, graphgen.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, g
+}
+
+// Spill is SpillComp with the default varint shard encoding.
+func Spill(t testing.TB, uc string, n, shardNodes int, seed int64) (*graph.Graph, string) {
+	t.Helper()
+	return SpillComp(t, uc, n, shardNodes, seed, graphgen.SpillCompressVarint)
+}
+
+// SpillComp generates a use-case instance and writes it as a CSR
+// spill directory with the given shard width and encoding, returning
+// the in-memory graph (the reference for count comparisons) and the
+// spill directory.
+func SpillComp(t testing.TB, uc string, n, shardNodes int, seed int64, comp graphgen.SpillCompression) (*graph.Graph, string) {
+	t.Helper()
+	_, g := Graph(t, uc, n, seed)
+	dir := filepath.Join(t.TempDir(), "csr")
+	if err := graphgen.WriteCSRSpillFromGraphWith(dir, g, shardNodes, comp); err != nil {
+		t.Fatal(err)
+	}
+	return g, dir
+}
+
+// Predicates lists a configuration's predicate names in schema order.
+func Predicates(cfg *schema.GraphConfig) []string {
+	preds := make([]string, len(cfg.Schema.Predicates))
+	for i, p := range cfg.Schema.Predicates {
+		preds[i] = p.Name
+	}
+	return preds
+}
